@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures tables examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark run: every paper figure/table plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation artifacts as text tables.
+figures:
+	$(GO) run ./cmd/diag-bench -all
+
+tables:
+	$(GO) run ./cmd/diag-report -table1 -table2 -table3
+
+examples:
+	@for e in quickstart euclid simt compare baremetal interrupt; do \
+		echo "=== examples/$$e ==="; \
+		$(GO) run ./examples/$$e; echo; \
+	done
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

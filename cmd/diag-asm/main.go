@@ -1,0 +1,57 @@
+// diag-asm assembles an RV32IMF (+DiAG extensions) source file and
+// prints its listing, optionally writing the raw little-endian text
+// section to a file.
+//
+// Usage:
+//
+//	diag-asm [-o prog.bin] [-q] prog.s
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"diag/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "write raw text-section words to this file")
+	quiet := flag.Bool("q", false, "suppress the listing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: diag-asm [-o out.bin] [-q] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Printf("entry: 0x%08x   text: %d instructions at 0x%08x\n",
+			img.Entry, len(img.Text), img.TextAddr)
+		for _, s := range img.Segments {
+			fmt.Printf("data:  %d bytes at 0x%08x\n", len(s.Data), s.Addr)
+		}
+		fmt.Print(asm.Disassemble(img))
+	}
+	if *out != "" {
+		buf := make([]byte, 4*len(img.Text))
+		for i, w := range img.Text {
+			binary.LittleEndian.PutUint32(buf[4*i:], w)
+		}
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diag-asm:", err)
+	os.Exit(1)
+}

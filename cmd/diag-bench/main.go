@@ -1,0 +1,84 @@
+// diag-bench regenerates the paper's evaluation figures (see DESIGN.md
+// for the experiment index).
+//
+// Usage:
+//
+//	diag-bench -fig 9a          # one figure: 9a, 9b, 10a, 10b, 11, 12
+//	diag-bench -stalls          # §7.3.2 stall-source breakdown
+//	diag-bench -all [-scale 2]  # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diag/internal/bench"
+)
+
+var figures = map[string]func(int) (*bench.Figure, error){
+	"9a":  bench.Fig9a,
+	"9b":  bench.Fig9b,
+	"10a": bench.Fig10a,
+	"10b": bench.Fig10b,
+	"11":  bench.Fig11,
+	"12":  bench.Fig12,
+}
+
+// order keeps -all output in the paper's order.
+var order = []string{"9a", "9b", "10a", "10b", "11", "12"}
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 9a, 9b, 10a, 10b, 11, 12")
+	stalls := flag.Bool("stalls", false, "regenerate the §7.3.2 stall breakdown")
+	all := flag.Bool("all", false, "regenerate every figure and the stall breakdown")
+	scale := flag.Int("scale", 1, "workload problem-size knob")
+	csv := flag.Bool("csv", false, "emit CSV instead of a text table")
+	sweep := flag.String("sweep", "", "PE-scaling sweep for one workload (§7.2.1 saturation)")
+	list := flag.Bool("list", false, "list the benchmark kernels")
+	flag.Parse()
+	render := func(fig *bench.Figure) string {
+		if *csv {
+			return fig.CSV()
+		}
+		return fig.Table().String()
+	}
+
+	switch {
+	case *list:
+		fmt.Println(bench.Describe())
+	case *sweep != "":
+		fig, err := bench.ScalingSweep(*sweep, []int{2, 4, 8, 16, 32, 64}, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diag-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(render(fig))
+	case *all:
+		for _, id := range order {
+			emit(figures[id], *scale, render)
+		}
+		emit(bench.StallBreakdown, *scale, render)
+	case *stalls:
+		emit(bench.StallBreakdown, *scale, render)
+	case *fig != "":
+		f, ok := figures[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "diag-bench: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		emit(f, *scale, render)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func emit(f func(int) (*bench.Figure, error), scale int, render func(*bench.Figure) string) {
+	fig, err := f(scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diag-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(render(fig))
+}

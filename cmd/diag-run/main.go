@@ -1,0 +1,210 @@
+// diag-run executes a program — an assembly source file or a named
+// benchmark workload — on a DiAG machine or on the out-of-order
+// baseline, and reports timing, stall, and energy statistics.
+//
+// Usage:
+//
+//	diag-run [-machine F4C16] [-rings N] prog.s
+//	diag-run -workload hotspot [-scale 2] [-threads 4] [-simt] [-machine F4C32]
+//	diag-run -workload mcf -machine ooo [-cores 12]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"diag/internal/asm"
+	"diag/internal/diag"
+	"diag/internal/mem"
+	"diag/internal/ooo"
+	"diag/internal/power"
+	"diag/internal/trace"
+	"diag/internal/workloads"
+)
+
+func main() {
+	machine := flag.String("machine", "F4C16", "I4C2, F4C2, F4C16, F4C32, or ooo")
+	rings := flag.Int("rings", 0, "reshape the DiAG machine into N rings x 2 clusters")
+	cores := flag.Int("cores", 1, "baseline core count (machine=ooo)")
+	workload := flag.String("workload", "", "run a named benchmark instead of a file")
+	scale := flag.Int("scale", 1, "workload problem-size knob")
+	threads := flag.Int("threads", 1, "workload thread count")
+	simt := flag.Bool("simt", false, "annotate the workload's parallel loop with simt.s/simt.e")
+	showEnergy := flag.Bool("energy", true, "print the energy breakdown")
+	traceN := flag.Int("trace", 0, "print the last N retired instructions and the instruction mix")
+	prefetch := flag.Bool("prefetch", false, "enable PE-local stride prefetching (paper §5.2)")
+	sharedFPUs := flag.Int("shared-fpus", 0, "share N FPUs per cluster instead of one per PE (paper §7.5)")
+	spec := flag.Bool("spec-datapaths", false, "speculatively construct taken-branch target datapaths (paper §7.3.2)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+
+	img, check, err := buildProgram(*workload, workloads.Params{Scale: *scale, Threads: *threads, SIMT: *simt})
+	if err != nil {
+		fatal(err)
+	}
+
+	if strings.EqualFold(*machine, "ooo") {
+		runBaseline(img, check, *cores, *showEnergy)
+		return
+	}
+	cfg, err := diagConfig(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	if *rings > 0 {
+		cfg = diag.MultiRing(cfg, *rings, 2)
+	}
+	cfg.StridePrefetch = *prefetch
+	cfg.SharedFPUs = *sharedFPUs
+	cfg.SpeculativeDatapaths = *spec
+	if *workload != "" && *threads > 1 && cfg.Rings < *threads {
+		fmt.Fprintf(os.Stderr, "note: %d threads on %d ring(s); extra threads never run\n", *threads, cfg.Rings)
+	}
+	mach, err := diag.NewMachine(cfg, img)
+	if err != nil {
+		fatal(err)
+	}
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.NewRecorder(*traceN)
+		mach.Ring(0).CPU().Hook = rec.Record
+	}
+	if err := mach.Run(); err != nil {
+		fatal(err)
+	}
+	st, m := mach.Stats(), mach.Mem()
+	if check != nil {
+		if err := check(m); err != nil {
+			fatal(fmt.Errorf("result check failed: %w", err))
+		}
+		if !*asJSON {
+			fmt.Println("result check: ok")
+		}
+	}
+	if *asJSON {
+		emitJSON(cfg.Name, st, power.DiAGEnergy(cfg, st))
+		return
+	}
+	printDiAG(cfg, st, *showEnergy)
+	if rec != nil {
+		fmt.Println()
+		fmt.Print(rec.MixSummary())
+		fmt.Print(rec.Format())
+	}
+}
+
+func buildProgram(name string, p workloads.Params) (*mem.Image, func(*mem.Memory) error, error) {
+	if name != "" {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			names := make([]string, 0, 20)
+			for _, w := range workloads.All() {
+				names = append(names, w.Name)
+			}
+			return nil, nil, fmt.Errorf("unknown workload %q (have: %s)", name, strings.Join(names, ", "))
+		}
+		img, err := w.Build(p)
+		return img, func(m *mem.Memory) error { return w.Check(m, p) }, err
+	}
+	if flag.NArg() != 1 {
+		return nil, nil, fmt.Errorf("usage: diag-run [flags] prog.s  (or -workload NAME)")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return nil, nil, err
+	}
+	img, err := asm.Assemble(string(src))
+	return img, nil, err
+}
+
+func diagConfig(name string) (diag.Config, error) {
+	switch strings.ToUpper(name) {
+	case "I4C2":
+		return diag.I4C2(), nil
+	case "F4C2":
+		return diag.F4C2(), nil
+	case "F4C16":
+		return diag.F4C16(), nil
+	case "F4C32":
+		return diag.F4C32(), nil
+	}
+	return diag.Config{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func printDiAG(cfg diag.Config, st diag.Stats, energy bool) {
+	fmt.Printf("machine:   %s (%d PEs, %d ring(s) x %d clusters x %d PEs)\n",
+		cfg.Name, cfg.TotalPEs(), cfg.Rings, cfg.Clusters, cfg.PEsPerCluster)
+	fmt.Printf("cycles:    %d   retired: %d   IPC: %.3f\n", st.Cycles, st.Retired, st.IPC())
+	fmt.Printf("reuse:     %d backward branches reused the datapath, %d reloaded; %d I-lines fetched\n",
+		st.ReuseHits, st.ReuseMisses, st.LinesFetched)
+	fmt.Printf("stalls:    memory %.1f%%  control %.1f%%  other %.1f%%\n",
+		100*st.StallShare(diag.StallMemory), 100*st.StallShare(diag.StallControl),
+		100*st.StallShare(diag.StallOther))
+	if st.StridePrefetches > 0 || st.SpecDatapathHits > 0 {
+		fmt.Printf("ext:       %d stride prefetches, %d speculative-datapath hits\n",
+			st.StridePrefetches, st.SpecDatapathHits)
+	}
+	if st.SIMTRegions > 0 || st.SIMTRejects > 0 {
+		fmt.Printf("simt:      %d regions pipelined %d threads (%d rejected to sequential)\n",
+			st.SIMTRegions, st.SIMTThreads, st.SIMTRejects)
+	}
+	fmt.Printf("caches:    L1I %.1f%% miss   L1D %.1f%% miss   L2 %.1f%% miss   DRAM %d\n",
+		100*st.L1I.MissRate(), 100*st.L1D.MissRate(), 100*st.L2.MissRate(), st.DRAMAccesses)
+	if energy {
+		e := power.DiAGEnergy(cfg, st)
+		sh := e.Share()
+		fmt.Printf("energy:    %.3g J  (FP %.0f%%, lanes+ALU %.0f%%, memory %.0f%%, control %.0f%%)\n",
+			e.Total(), 100*sh[0], 100*sh[1], 100*sh[2], 100*sh[3])
+	}
+}
+
+func runBaseline(img *mem.Image, check func(*mem.Memory) error, cores int, energy bool) {
+	cfg := ooo.Baseline()
+	if cores > 1 {
+		cfg = ooo.BaselineMulticore(cores)
+	}
+	st, m, err := ooo.RunImage(cfg, img)
+	if err != nil {
+		fatal(err)
+	}
+	if check != nil {
+		if err := check(m); err != nil {
+			fatal(fmt.Errorf("result check failed: %w", err))
+		}
+		fmt.Println("result check: ok")
+	}
+	fmt.Printf("machine:   %s (%d core(s), %d-wide)\n", cfg.Name, cfg.Cores, cfg.IssueWidth)
+	fmt.Printf("cycles:    %d   retired: %d   IPC: %.3f\n", st.Cycles, st.Retired, st.IPC())
+	fmt.Printf("branches:  %d (%.2f%% mispredicted)\n", st.Branches, 100*st.MispredictRate())
+	fmt.Printf("caches:    L1I %.1f%% miss   L1D %.1f%% miss   L2 %.1f%% miss   DRAM %d\n",
+		100*st.L1I.MissRate(), 100*st.L1D.MissRate(), 100*st.L2.MissRate(), st.DRAMAccesses)
+	if energy {
+		e := power.OoOEnergy(cfg, st, 2000)
+		sh := e.Share()
+		fmt.Printf("energy:    %.3g J  (FP %.0f%%, datapath %.0f%%, memory %.0f%%, control %.0f%%)\n",
+			e.Total(), 100*sh[0], 100*sh[1], 100*sh[2], 100*sh[3])
+	}
+}
+
+// emitJSON prints one run's stats and energy as a JSON object.
+func emitJSON(machine string, stats any, energy power.Breakdown) {
+	out := struct {
+		Machine string          `json:"machine"`
+		Stats   any             `json:"stats"`
+		Energy  power.Breakdown `json:"energy"`
+		Joules  float64         `json:"joules"`
+	}{machine, stats, energy, energy.Total()}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diag-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,198 @@
+// Package diag is a pure-Go reproduction of DiAG, the dataflow-inspired
+// general-purpose processor architecture of Wang & Kim (ASPLOS 2021),
+// together with everything needed to regenerate the paper's evaluation:
+// an RV32IMF assembler and golden ISS, a cycle-level DiAG machine model
+// (register lanes, processing clusters, dataflow rings, datapath reuse,
+// SIMT thread pipelining), an aggressive out-of-order multicore baseline,
+// area/power models seeded from the paper's synthesis results, and
+// twenty-seven benchmark kernels covering its Rodinia / SPEC CPU2017
+// evaluation.
+//
+// # Quick start
+//
+//	img, err := diag.Assemble(`
+//	    li   t0, 0
+//	    li   t1, 100
+//	loop:
+//	    addi t0, t0, 1
+//	    blt  t0, t1, loop
+//	    ebreak
+//	`)
+//	st, mem, err := diag.Run(diag.F4C16(), img)
+//	fmt.Println(st.Cycles, st.IPC())
+//
+// To compare against the out-of-order baseline:
+//
+//	base, _, err := diag.RunBaseline(diag.Baseline(), img)
+//	speedup := float64(base.Cycles) / float64(st.Cycles)
+//
+// To regenerate a paper figure:
+//
+//	fig, err := diag.Fig9a(1)
+//	fmt.Println(fig.Table())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package diag
+
+import (
+	"diag/internal/asm"
+	"diag/internal/bench"
+	idiag "diag/internal/diag"
+	"diag/internal/iss"
+	"diag/internal/mem"
+	"diag/internal/ooo"
+	"diag/internal/power"
+	"diag/internal/workloads"
+)
+
+// Program is an assembled, loadable program image.
+type Program = mem.Image
+
+// Memory is the byte-addressable memory shared by all machine models.
+type Memory = mem.Memory
+
+// Assemble translates RV32IMF assembly (plus the simt.s/simt.e DiAG
+// extensions) into a loadable program. See internal/asm for the accepted
+// syntax.
+func Assemble(source string) (*Program, error) { return asm.Assemble(source) }
+
+// Disassemble renders a program's text section as annotated assembly.
+func Disassemble(p *Program) string { return asm.Disassemble(p) }
+
+// ---- DiAG machine ----
+
+// Config parameterizes a DiAG processor (Table 2 of the paper plus
+// timing constants).
+type Config = idiag.Config
+
+// Stats are the counters a DiAG run produces.
+type Stats = idiag.Stats
+
+// Machine is a runnable DiAG processor instance.
+type Machine = idiag.Machine
+
+// Stall-source kinds (§7.3.2).
+const (
+	StallMemory  = idiag.StallMemory
+	StallControl = idiag.StallControl
+	StallOther   = idiag.StallOther
+)
+
+// Paper Table 2 configurations.
+var (
+	I4C2  = idiag.I4C2
+	F4C2  = idiag.F4C2
+	F4C16 = idiag.F4C16
+	F4C32 = idiag.F4C32
+)
+
+// MultiRing reshapes a configuration into rings×clusters spatial form
+// (the paper's "16-by-2" multi-thread format).
+func MultiRing(cfg Config, rings, clustersPerRing int) Config {
+	return idiag.MultiRing(cfg, rings, clustersPerRing)
+}
+
+// NewMachine builds a DiAG machine loaded with p.
+func NewMachine(cfg Config, p *Program) (*Machine, error) { return idiag.NewMachine(cfg, p) }
+
+// Run executes p on a DiAG machine and returns its statistics and final
+// memory.
+func Run(cfg Config, p *Program) (Stats, *Memory, error) { return idiag.RunImage(cfg, p) }
+
+// ---- Out-of-order baseline ----
+
+// BaselineConfig parameterizes the out-of-order comparator (§7.1).
+type BaselineConfig = ooo.Config
+
+// BaselineStats are the counters a baseline run produces.
+type BaselineStats = ooo.Stats
+
+// Baseline returns the single-core 8-issue baseline configuration.
+func Baseline() BaselineConfig { return ooo.Baseline() }
+
+// BaselineMulticore returns the paper's 12-core baseline.
+func BaselineMulticore(cores int) BaselineConfig { return ooo.BaselineMulticore(cores) }
+
+// RunBaseline executes p on the out-of-order baseline.
+func RunBaseline(cfg BaselineConfig, p *Program) (BaselineStats, *Memory, error) {
+	return ooo.RunImage(cfg, p)
+}
+
+// ---- Reference execution ----
+
+// Interpret runs p on the golden instruction-set simulator (no timing)
+// and returns the final architectural state. maxInst bounds the run.
+func Interpret(p *Program, maxInst uint64) (*iss.CPU, error) {
+	m := mem.New()
+	entry, err := p.Load(m)
+	if err != nil {
+		return nil, err
+	}
+	c := iss.New(m, entry)
+	c.Run(maxInst)
+	return c, c.Err
+}
+
+// ---- Energy and area ----
+
+// EnergyBreakdown is energy by component in joules (Figure 11's
+// categories).
+type EnergyBreakdown = power.Breakdown
+
+// Energy estimates the energy of a DiAG run.
+func Energy(cfg Config, st Stats) EnergyBreakdown { return power.DiAGEnergy(cfg, st) }
+
+// BaselineEnergy estimates the energy of a baseline run at the given
+// clock.
+func BaselineEnergy(cfg BaselineConfig, st BaselineStats, freqMHz int) EnergyBreakdown {
+	return power.OoOEnergy(cfg, st, freqMHz)
+}
+
+// Efficiency returns baseline energy over DiAG energy (>1 favours DiAG).
+func Efficiency(diagE, baseE EnergyBreakdown) float64 { return power.Efficiency(diagE, baseE) }
+
+// AreaReport is the Table 3-shaped area/power breakdown.
+type AreaReport = power.AreaReport
+
+// Area builds the area/power breakdown for cfg.
+func Area(cfg Config) AreaReport { return power.DiAGArea(cfg) }
+
+// ---- Workloads ----
+
+// Workload is one of the twenty-seven benchmark kernels.
+type Workload = workloads.Workload
+
+// WorkloadParams selects problem size and execution shape.
+type WorkloadParams = workloads.Params
+
+// Workload suites.
+const (
+	Rodinia = workloads.Rodinia
+	SPEC    = workloads.SPEC
+)
+
+// Workloads returns every registered benchmark kernel.
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName looks up one benchmark kernel.
+func WorkloadByName(name string) (Workload, bool) { return workloads.ByName(name) }
+
+// ---- Paper figures and tables ----
+
+// Figure is one regenerated evaluation artifact.
+type Figure = bench.Figure
+
+// Figure and table generators; scale sets the problem-size knob.
+var (
+	Fig9a          = bench.Fig9a
+	Fig9b          = bench.Fig9b
+	Fig10a         = bench.Fig10a
+	Fig10b         = bench.Fig10b
+	Fig11          = bench.Fig11
+	Fig12          = bench.Fig12
+	StallBreakdown = bench.StallBreakdown
+	Table1         = bench.Table1
+	Table2         = bench.Table2
+	Table3         = bench.Table3
+)

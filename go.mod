@@ -1,0 +1,3 @@
+module diag
+
+go 1.22

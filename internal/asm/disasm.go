@@ -1,0 +1,26 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"diag/internal/isa"
+	"diag/internal/mem"
+)
+
+// Disassemble renders an image's text section as annotated assembly, one
+// instruction per line with its address; undecodable words are rendered
+// as ".word".
+func Disassemble(img *mem.Image) string {
+	var b strings.Builder
+	for i, w := range img.Text {
+		addr := img.TextAddr + uint32(i)*4
+		in, err := isa.Decode(w)
+		if err != nil {
+			fmt.Fprintf(&b, "%08x:  %08x  .word 0x%08x\n", addr, w, w)
+			continue
+		}
+		fmt.Fprintf(&b, "%08x:  %08x  %s\n", addr, w, in)
+	}
+	return b.String()
+}

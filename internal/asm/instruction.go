@@ -1,0 +1,307 @@
+package asm
+
+import (
+	"strings"
+
+	"diag/internal/isa"
+)
+
+// opByMnemonic maps plain (non-pseudo) mnemonics to ops.
+var opByMnemonic = map[string]isa.Op{
+	"lui": isa.OpLUI, "auipc": isa.OpAUIPC, "jal": isa.OpJAL, "jalr": isa.OpJALR,
+	"beq": isa.OpBEQ, "bne": isa.OpBNE, "blt": isa.OpBLT, "bge": isa.OpBGE,
+	"bltu": isa.OpBLTU, "bgeu": isa.OpBGEU,
+	"lb": isa.OpLB, "lh": isa.OpLH, "lw": isa.OpLW, "lbu": isa.OpLBU, "lhu": isa.OpLHU,
+	"sb": isa.OpSB, "sh": isa.OpSH, "sw": isa.OpSW,
+	"addi": isa.OpADDI, "slti": isa.OpSLTI, "sltiu": isa.OpSLTIU,
+	"xori": isa.OpXORI, "ori": isa.OpORI, "andi": isa.OpANDI,
+	"slli": isa.OpSLLI, "srli": isa.OpSRLI, "srai": isa.OpSRAI,
+	"add": isa.OpADD, "sub": isa.OpSUB, "sll": isa.OpSLL, "slt": isa.OpSLT,
+	"sltu": isa.OpSLTU, "xor": isa.OpXOR, "srl": isa.OpSRL, "sra": isa.OpSRA,
+	"or": isa.OpOR, "and": isa.OpAND,
+	"fence": isa.OpFENCE, "ecall": isa.OpECALL, "ebreak": isa.OpEBREAK,
+	"mul": isa.OpMUL, "mulh": isa.OpMULH, "mulhsu": isa.OpMULHSU, "mulhu": isa.OpMULHU,
+	"div": isa.OpDIV, "divu": isa.OpDIVU, "rem": isa.OpREM, "remu": isa.OpREMU,
+	"flw": isa.OpFLW, "fsw": isa.OpFSW,
+	"fmadd.s": isa.OpFMADDS, "fmsub.s": isa.OpFMSUBS,
+	"fnmsub.s": isa.OpFNMSUBS, "fnmadd.s": isa.OpFNMADDS,
+	"fadd.s": isa.OpFADDS, "fsub.s": isa.OpFSUBS, "fmul.s": isa.OpFMULS, "fdiv.s": isa.OpFDIVS,
+	"fsqrt.s": isa.OpFSQRTS,
+	"fsgnj.s": isa.OpFSGNJS, "fsgnjn.s": isa.OpFSGNJNS, "fsgnjx.s": isa.OpFSGNJXS,
+	"fmin.s": isa.OpFMINS, "fmax.s": isa.OpFMAXS,
+	"fcvt.w.s": isa.OpFCVTWS, "fcvt.wu.s": isa.OpFCVTWUS, "fmv.x.w": isa.OpFMVXW,
+	"feq.s": isa.OpFEQS, "flt.s": isa.OpFLTS, "fle.s": isa.OpFLES, "fclass.s": isa.OpFCLASSS,
+	"fcvt.s.w": isa.OpFCVTSW, "fcvt.s.wu": isa.OpFCVTSWU, "fmv.w.x": isa.OpFMVWX,
+	"simt.s": isa.OpSIMTS, "simt.e": isa.OpSIMTE,
+}
+
+func (a *assembler) reg(st statement, arg string) (isa.Reg, error) {
+	r, ok := isa.RegByName(strings.TrimSpace(arg))
+	if !ok {
+		return 0, a.errf(st.line, "bad integer register %q", arg)
+	}
+	return r, nil
+}
+
+func (a *assembler) freg(st statement, arg string) (isa.Reg, error) {
+	r, ok := isa.FRegByName(strings.TrimSpace(arg))
+	if !ok {
+		return 0, a.errf(st.line, "bad FP register %q", arg)
+	}
+	return r, nil
+}
+
+// memOperand parses "offset(base)"; an empty offset means 0.
+func (a *assembler) memOperand(st statement, arg string) (int32, isa.Reg, error) {
+	arg = strings.TrimSpace(arg)
+	open := strings.LastIndex(arg, "(")
+	if open < 0 || !strings.HasSuffix(arg, ")") {
+		return 0, 0, a.errf(st.line, "bad memory operand %q (want off(base))", arg)
+	}
+	base, err := a.reg(st, arg[open+1:len(arg)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	offExpr := strings.TrimSpace(arg[:open])
+	if offExpr == "" {
+		return 0, base, nil
+	}
+	off, err := a.eval(st.line, offExpr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(off), base, nil
+}
+
+func (a *assembler) imm(st statement, arg string) (int32, error) {
+	v, err := a.eval(st.line, arg)
+	return int32(v), err
+}
+
+// relTarget resolves a branch/jump target to a PC-relative offset. A pure
+// numeric literal is already a relative offset (matching the form the
+// disassembler prints); a symbol expression is an absolute address that
+// gets converted. Offsets are computed in pass 2 only; pass 1 returns 0,
+// which always encodes.
+func (a *assembler) relTarget(st statement, arg string) (int32, error) {
+	arg = strings.TrimSpace(arg)
+	if v, err := parseInt(arg); err == nil {
+		return int32(v), nil
+	}
+	if a.pass == 1 {
+		return 0, nil
+	}
+	v, err := a.eval(st.line, arg)
+	if err != nil {
+		return 0, err
+	}
+	return int32(v - a.textPC), nil
+}
+
+func (a *assembler) want(st statement, n int) error {
+	if len(st.args) != n {
+		return a.errf(st.line, "%s wants %d operands, got %d", st.mnem, n, len(st.args))
+	}
+	return nil
+}
+
+func (a *assembler) instruction(st statement) error {
+	if err := a.pseudo(st); err != errNotPseudo {
+		return err
+	}
+	op, ok := opByMnemonic[st.mnem]
+	if !ok {
+		return a.errf(st.line, "unknown mnemonic %q", st.mnem)
+	}
+	in := isa.Inst{Op: op}
+	var err error
+
+	pick := func(fp bool, arg string) (isa.Reg, error) {
+		if fp {
+			return a.freg(st, arg)
+		}
+		return a.reg(st, arg)
+	}
+
+	switch op.Format() {
+	case isa.FormatR:
+		if op == isa.OpSIMTS {
+			if err = a.want(st, 4); err != nil {
+				return err
+			}
+			if in.Rd, err = a.reg(st, st.args[0]); err != nil {
+				return err
+			}
+			if in.Rs1, err = a.reg(st, st.args[1]); err != nil {
+				return err
+			}
+			if in.Rs2, err = a.reg(st, st.args[2]); err != nil {
+				return err
+			}
+			if in.Imm, err = a.imm(st, st.args[3]); err != nil {
+				return err
+			}
+			break
+		}
+		if err = a.want(st, 3); err != nil {
+			return err
+		}
+		if in.Rd, err = pick(op.FPRd(), st.args[0]); err != nil {
+			return err
+		}
+		if in.Rs1, err = pick(op.FPRs1(), st.args[1]); err != nil {
+			return err
+		}
+		if in.Rs2, err = pick(op.FPRs2(), st.args[2]); err != nil {
+			return err
+		}
+	case isa.FormatR4:
+		if err = a.want(st, 4); err != nil {
+			return err
+		}
+		if in.Rd, err = a.freg(st, st.args[0]); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.freg(st, st.args[1]); err != nil {
+			return err
+		}
+		if in.Rs2, err = a.freg(st, st.args[2]); err != nil {
+			return err
+		}
+		if in.Rs3, err = a.freg(st, st.args[3]); err != nil {
+			return err
+		}
+	case isa.FormatFI:
+		if err = a.want(st, 2); err != nil {
+			return err
+		}
+		if in.Rd, err = pick(op.FPRd(), st.args[0]); err != nil {
+			return err
+		}
+		if in.Rs1, err = pick(op.FPRs1(), st.args[1]); err != nil {
+			return err
+		}
+	case isa.FormatI:
+		switch {
+		case op == isa.OpECALL || op == isa.OpEBREAK || op == isa.OpFENCE:
+			// no operands
+		case op == isa.OpSIMTE:
+			if err = a.want(st, 3); err != nil {
+				return err
+			}
+			if in.Rd, err = a.reg(st, st.args[0]); err != nil {
+				return err
+			}
+			if in.Rs1, err = a.reg(st, st.args[1]); err != nil {
+				return err
+			}
+			if in.Imm, err = a.relTarget(st, st.args[2]); err != nil {
+				return err
+			}
+		case op.IsLoad():
+			if err = a.want(st, 2); err != nil {
+				return err
+			}
+			if in.Rd, err = pick(op.FPRd(), st.args[0]); err != nil {
+				return err
+			}
+			if in.Imm, in.Rs1, err = a.memOperand(st, st.args[1]); err != nil {
+				return err
+			}
+		case op == isa.OpJALR:
+			// Accept both "jalr rd, off(rs1)" and "jalr rd, rs1, off".
+			if len(st.args) == 2 {
+				if in.Rd, err = a.reg(st, st.args[0]); err != nil {
+					return err
+				}
+				if in.Imm, in.Rs1, err = a.memOperand(st, st.args[1]); err != nil {
+					return err
+				}
+				break
+			}
+			if err = a.want(st, 3); err != nil {
+				return err
+			}
+			if in.Rd, err = a.reg(st, st.args[0]); err != nil {
+				return err
+			}
+			if in.Rs1, err = a.reg(st, st.args[1]); err != nil {
+				return err
+			}
+			if in.Imm, err = a.imm(st, st.args[2]); err != nil {
+				return err
+			}
+		default:
+			if err = a.want(st, 3); err != nil {
+				return err
+			}
+			if in.Rd, err = a.reg(st, st.args[0]); err != nil {
+				return err
+			}
+			if in.Rs1, err = a.reg(st, st.args[1]); err != nil {
+				return err
+			}
+			if in.Imm, err = a.imm(st, st.args[2]); err != nil {
+				return err
+			}
+		}
+	case isa.FormatS:
+		if err = a.want(st, 2); err != nil {
+			return err
+		}
+		if in.Rs2, err = pick(op.FPRs2(), st.args[0]); err != nil {
+			return err
+		}
+		if in.Imm, in.Rs1, err = a.memOperand(st, st.args[1]); err != nil {
+			return err
+		}
+	case isa.FormatB:
+		if err = a.want(st, 3); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.reg(st, st.args[0]); err != nil {
+			return err
+		}
+		if in.Rs2, err = a.reg(st, st.args[1]); err != nil {
+			return err
+		}
+		if in.Imm, err = a.relTarget(st, st.args[2]); err != nil {
+			return err
+		}
+	case isa.FormatU:
+		if err = a.want(st, 2); err != nil {
+			return err
+		}
+		if in.Rd, err = a.reg(st, st.args[0]); err != nil {
+			return err
+		}
+		v, err := a.eval(st.line, st.args[1])
+		if err != nil {
+			return err
+		}
+		// Accept both raw 20-bit values ("lui a0, 0x12345") and
+		// pre-shifted %hi results.
+		if v < 1<<20 {
+			v <<= 12
+		}
+		in.Imm = int32(v)
+	case isa.FormatJ:
+		switch len(st.args) {
+		case 1: // jal target (rd = ra)
+			in.Rd = isa.RA
+			if in.Imm, err = a.relTarget(st, st.args[0]); err != nil {
+				return err
+			}
+		case 2:
+			if in.Rd, err = a.reg(st, st.args[0]); err != nil {
+				return err
+			}
+			if in.Imm, err = a.relTarget(st, st.args[1]); err != nil {
+				return err
+			}
+		default:
+			return a.errf(st.line, "jal wants 1 or 2 operands")
+		}
+	}
+	return a.emit(st, in)
+}

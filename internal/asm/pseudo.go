@@ -1,0 +1,223 @@
+package asm
+
+import (
+	"errors"
+
+	"diag/internal/isa"
+)
+
+// errNotPseudo signals that a mnemonic is not a pseudo-instruction and
+// should be handled by the plain instruction path.
+var errNotPseudo = errors.New("not a pseudo-instruction")
+
+// pseudo expands the standard RISC-V pseudo-instructions. Expansions are
+// size-stable across passes: the number of emitted words depends only on
+// the syntactic form of the operands, never on a symbol's final value.
+func (a *assembler) pseudo(st statement) error {
+	switch st.mnem {
+	case "nop":
+		return a.emit(st, isa.Inst{Op: isa.OpADDI})
+
+	case "li":
+		if err := a.want(st, 2); err != nil {
+			return err
+		}
+		rd, err := a.reg(st, st.args[0])
+		if err != nil {
+			return err
+		}
+		// Literal that fits the 12-bit immediate: single addi. Anything
+		// else (big literal or symbol expression): lui+addi pair.
+		if v, lit := parseInt(st.args[1]); lit == nil && int32(v) >= -2048 && int32(v) <= 2047 {
+			return a.emit(st, isa.Inst{Op: isa.OpADDI, Rd: rd, Imm: int32(v)})
+		}
+		return a.emitLoadImm(st, rd, st.args[1])
+
+	case "la":
+		if err := a.want(st, 2); err != nil {
+			return err
+		}
+		rd, err := a.reg(st, st.args[0])
+		if err != nil {
+			return err
+		}
+		return a.emitLoadImm(st, rd, st.args[1])
+
+	case "mv":
+		return a.rr(st, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rs}
+		})
+	case "not":
+		return a.rr(st, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpXORI, Rd: rd, Rs1: rs, Imm: -1}
+		})
+	case "neg":
+		return a.rr(st, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpSUB, Rd: rd, Rs2: rs}
+		})
+	case "seqz":
+		return a.rr(st, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpSLTIU, Rd: rd, Rs1: rs, Imm: 1}
+		})
+	case "snez":
+		return a.rr(st, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpSLTU, Rd: rd, Rs2: rs}
+		})
+	case "sltz":
+		return a.rr(st, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpSLT, Rd: rd, Rs1: rs}
+		})
+	case "sgtz":
+		return a.rr(st, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpSLT, Rd: rd, Rs2: rs}
+		})
+
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		if err := a.want(st, 2); err != nil {
+			return err
+		}
+		rs, err := a.reg(st, st.args[0])
+		if err != nil {
+			return err
+		}
+		off, err := a.relTarget(st, st.args[1])
+		if err != nil {
+			return err
+		}
+		var in isa.Inst
+		switch st.mnem {
+		case "beqz":
+			in = isa.Inst{Op: isa.OpBEQ, Rs1: rs}
+		case "bnez":
+			in = isa.Inst{Op: isa.OpBNE, Rs1: rs}
+		case "blez":
+			in = isa.Inst{Op: isa.OpBGE, Rs2: rs}
+		case "bgez":
+			in = isa.Inst{Op: isa.OpBGE, Rs1: rs}
+		case "bltz":
+			in = isa.Inst{Op: isa.OpBLT, Rs1: rs}
+		case "bgtz":
+			in = isa.Inst{Op: isa.OpBLT, Rs2: rs}
+		}
+		in.Imm = off
+		return a.emit(st, in)
+
+	case "bgt", "ble", "bgtu", "bleu":
+		if err := a.want(st, 3); err != nil {
+			return err
+		}
+		rs1, err := a.reg(st, st.args[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(st, st.args[1])
+		if err != nil {
+			return err
+		}
+		off, err := a.relTarget(st, st.args[2])
+		if err != nil {
+			return err
+		}
+		var op isa.Op
+		switch st.mnem {
+		case "bgt":
+			op = isa.OpBLT
+		case "ble":
+			op = isa.OpBGE
+		case "bgtu":
+			op = isa.OpBLTU
+		case "bleu":
+			op = isa.OpBGEU
+		}
+		// Swapped operands implement the reversed comparison.
+		return a.emit(st, isa.Inst{Op: op, Rs1: rs2, Rs2: rs1, Imm: off})
+
+	case "j", "tail":
+		if err := a.want(st, 1); err != nil {
+			return err
+		}
+		off, err := a.relTarget(st, st.args[0])
+		if err != nil {
+			return err
+		}
+		return a.emit(st, isa.Inst{Op: isa.OpJAL, Rd: isa.Zero, Imm: off})
+
+	case "jr":
+		if err := a.want(st, 1); err != nil {
+			return err
+		}
+		rs, err := a.reg(st, st.args[0])
+		if err != nil {
+			return err
+		}
+		return a.emit(st, isa.Inst{Op: isa.OpJALR, Rd: isa.Zero, Rs1: rs})
+
+	case "call":
+		if err := a.want(st, 1); err != nil {
+			return err
+		}
+		off, err := a.relTarget(st, st.args[0])
+		if err != nil {
+			return err
+		}
+		return a.emit(st, isa.Inst{Op: isa.OpJAL, Rd: isa.RA, Imm: off})
+
+	case "ret":
+		return a.emit(st, isa.Inst{Op: isa.OpJALR, Rd: isa.Zero, Rs1: isa.RA})
+
+	case "fmv.s", "fabs.s", "fneg.s":
+		if err := a.want(st, 2); err != nil {
+			return err
+		}
+		rd, err := a.freg(st, st.args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.freg(st, st.args[1])
+		if err != nil {
+			return err
+		}
+		var op isa.Op
+		switch st.mnem {
+		case "fmv.s":
+			op = isa.OpFSGNJS
+		case "fabs.s":
+			op = isa.OpFSGNJXS
+		case "fneg.s":
+			op = isa.OpFSGNJNS
+		}
+		return a.emit(st, isa.Inst{Op: op, Rd: rd, Rs1: rs, Rs2: rs})
+	}
+	return errNotPseudo
+}
+
+// rr handles two-operand register pseudo-instructions.
+func (a *assembler) rr(st statement, build func(rd, rs isa.Reg) isa.Inst) error {
+	if err := a.want(st, 2); err != nil {
+		return err
+	}
+	rd, err := a.reg(st, st.args[0])
+	if err != nil {
+		return err
+	}
+	rs, err := a.reg(st, st.args[1])
+	if err != nil {
+		return err
+	}
+	return a.emit(st, build(rd, rs))
+}
+
+// emitLoadImm emits the canonical lui+addi pair loading an arbitrary
+// 32-bit value or symbol address.
+func (a *assembler) emitLoadImm(st statement, rd isa.Reg, expr string) error {
+	v, err := a.eval(st.line, expr)
+	if err != nil {
+		return err
+	}
+	hi := (v + 0x800) >> 12
+	lo := int32(v<<20) >> 20
+	if err := a.emit(st, isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: int32(hi << 12)}); err != nil {
+		return err
+	}
+	return a.emit(st, isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: lo})
+}

@@ -1,0 +1,471 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7) from the machine models in this repository. Each
+// experiment returns a Figure: named series of per-benchmark values plus
+// their means, rendered as a fixed-width text table (the repo's analogue
+// of the paper's bar charts).
+//
+// Experiment index (see DESIGN.md):
+//
+//	Table1()        — qualitative stage comparison (§5.3)
+//	Table2()        — hardware configurations
+//	Table3()        — area/power breakdown (via internal/power)
+//	Fig9a / Fig9b   — Rodinia single-/multi-thread relative performance
+//	Fig10a / Fig10b — SPEC single-/multi-thread relative performance
+//	Fig11()         — energy breakdown by component
+//	Fig12()         — Rodinia energy-efficiency improvement
+//	StallBreakdown()— §7.3.2 stall-source shares
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"diag/internal/diag"
+	"diag/internal/mem"
+	"diag/internal/ooo"
+	"diag/internal/power"
+	"diag/internal/stats"
+	"diag/internal/workloads"
+)
+
+// MultiThreadRings and MultiThreadCores reproduce the paper's parallel
+// shapes: DiAG "16-by-2 format" (§7.2.1) against a 12-core baseline.
+const (
+	MultiThreadRings = 16
+	MultiThreadCores = 12
+)
+
+// Entry is one benchmark's row in a figure.
+type Entry struct {
+	Workload string
+	Class    string
+	Values   map[string]float64
+}
+
+// Figure is one regenerated evaluation artifact.
+type Figure struct {
+	ID      string
+	Title   string
+	Series  []string
+	Entries []Entry
+	Means   map[string]float64 // geometric mean per series
+}
+
+// Table renders the figure as text.
+func (f *Figure) Table() *stats.Table {
+	header := append([]string{"benchmark", "class"}, f.Series...)
+	t := stats.NewTable(fmt.Sprintf("%s: %s", f.ID, f.Title), header...)
+	for _, e := range f.Entries {
+		row := []any{e.Workload, e.Class}
+		for _, s := range f.Series {
+			row = append(row, e.Values[s])
+		}
+		t.AddRowf(row...)
+	}
+	mean := []any{"geomean", ""}
+	for _, s := range f.Series {
+		mean = append(mean, f.Means[s])
+	}
+	t.AddRowf(mean...)
+	return t
+}
+
+func (f *Figure) computeMeans() {
+	f.Means = map[string]float64{}
+	for _, s := range f.Series {
+		var xs []float64
+		for _, e := range f.Entries {
+			if v, ok := e.Values[s]; ok {
+				xs = append(xs, v)
+			}
+		}
+		f.Means[s] = stats.GeoMean(xs)
+	}
+}
+
+// runDiAG executes w on cfg and returns stats.
+func runDiAG(w workloads.Workload, p workloads.Params, cfg diag.Config) (diag.Stats, error) {
+	img, err := w.Build(p)
+	if err != nil {
+		return diag.Stats{}, err
+	}
+	st, m, err := diag.RunImage(cfg, img)
+	if err != nil {
+		return diag.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
+	}
+	if err := w.Check(m, p); err != nil {
+		return diag.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
+	}
+	return st, nil
+}
+
+// runOoO executes w on cfg and returns stats.
+func runOoO(w workloads.Workload, p workloads.Params, cfg ooo.Config) (ooo.Stats, error) {
+	img, err := w.Build(p)
+	if err != nil {
+		return ooo.Stats{}, err
+	}
+	st, m, err := ooo.RunImage(cfg, img)
+	if err != nil {
+		return ooo.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
+	}
+	if err := w.Check(m, p); err != nil {
+		return ooo.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
+	}
+	return st, nil
+}
+
+// singleThread builds the Fig-9a/10a experiment: relative performance of
+// the three FP DiAG configurations against one baseline core.
+func singleThread(id, title string, suite workloads.Suite, scale int) (*Figure, error) {
+	configs := []diag.Config{diag.F4C2(), diag.F4C16(), diag.F4C32()}
+	series := []string{"DiAG-32", "DiAG-256", "DiAG-512"}
+	fig := &Figure{ID: id, Title: title, Series: series}
+	for _, w := range workloads.BySuite(suite) {
+		p := workloads.Params{Scale: scale, Threads: 1}
+		base, err := runOoO(w, p, ooo.Baseline())
+		if err != nil {
+			return nil, err
+		}
+		e := Entry{Workload: w.Name, Class: w.Class, Values: map[string]float64{}}
+		for i, cfg := range configs {
+			st, err := runDiAG(w, p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			e.Values[series[i]] = stats.Ratio(float64(base.Cycles), float64(st.Cycles))
+		}
+		fig.Entries = append(fig.Entries, e)
+	}
+	fig.computeMeans()
+	return fig, nil
+}
+
+// multiThread builds the Fig-9b/10b experiment: the 16-by-2 DiAG machine
+// (with and without SIMT pipelining) against the 12-core baseline.
+func multiThread(id, title string, suite workloads.Suite, scale int) (*Figure, error) {
+	series := []string{"DiAG-512-16x2", "DiAG-512-16x2+SIMT"}
+	fig := &Figure{ID: id, Title: title, Series: series}
+	diagCfg := diag.MultiRing(diag.F4C32(), MultiThreadRings, 2)
+	baseCfg := ooo.BaselineMulticore(MultiThreadCores)
+	for _, w := range workloads.BySuite(suite) {
+		base, err := runOoO(w, workloads.Params{Scale: scale, Threads: MultiThreadCores}, baseCfg)
+		if err != nil {
+			return nil, err
+		}
+		e := Entry{Workload: w.Name, Class: w.Class, Values: map[string]float64{}}
+		st, err := runDiAG(w, workloads.Params{Scale: scale, Threads: MultiThreadRings}, diagCfg)
+		if err != nil {
+			return nil, err
+		}
+		e.Values[series[0]] = stats.Ratio(float64(base.Cycles), float64(st.Cycles))
+		if w.SIMTCapable {
+			st, err = runDiAG(w, workloads.Params{Scale: scale, Threads: MultiThreadRings, SIMT: true}, diagCfg)
+			if err != nil {
+				return nil, err
+			}
+			e.Values[series[1]] = stats.Ratio(float64(base.Cycles), float64(st.Cycles))
+		}
+		fig.Entries = append(fig.Entries, e)
+	}
+	fig.computeMeans()
+	return fig, nil
+}
+
+// Fig9a regenerates Figure 9a: Rodinia single-thread performance.
+func Fig9a(scale int) (*Figure, error) {
+	return singleThread("Fig 9a", "Rodinia single-thread relative performance vs 1 OoO core",
+		workloads.Rodinia, scale)
+}
+
+// Fig9b regenerates Figure 9b: Rodinia multi-thread performance.
+func Fig9b(scale int) (*Figure, error) {
+	return multiThread("Fig 9b", "Rodinia multi-thread relative performance vs 12-core OoO",
+		workloads.Rodinia, scale)
+}
+
+// Fig10a regenerates Figure 10a: SPEC single-thread performance.
+func Fig10a(scale int) (*Figure, error) {
+	return singleThread("Fig 10a", "SPEC CPU2017 single-thread relative performance vs 1 OoO core",
+		workloads.SPEC, scale)
+}
+
+// Fig10b regenerates Figure 10b: SPEC multi-thread performance.
+func Fig10b(scale int) (*Figure, error) {
+	return multiThread("Fig 10b", "SPEC CPU2017 multi-thread relative performance vs 12-core OoO",
+		workloads.SPEC, scale)
+}
+
+// Fig11Benchmarks are the four Rodinia benchmarks of Figure 11.
+var Fig11Benchmarks = []string{"hotspot", "kmeans", "bfs", "nw"}
+
+// Fig11 regenerates Figure 11: energy breakdown (%) by component.
+func Fig11(scale int) (*Figure, error) {
+	series := []string{"FP Unit", "Reg Lanes+ALU", "Memory", "Control"}
+	fig := &Figure{ID: "Fig 11", Title: "DiAG energy breakdown (%) by hardware component (F4C32)", Series: series}
+	cfg := diag.F4C32()
+	for _, name := range Fig11Benchmarks {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown Fig 11 benchmark %q", name)
+		}
+		st, err := runDiAG(w, workloads.Params{Scale: scale, Threads: 1}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sh := power.DiAGEnergy(cfg, st).Share()
+		fig.Entries = append(fig.Entries, Entry{
+			Workload: w.Name, Class: w.Class,
+			Values: map[string]float64{
+				series[0]: 100 * sh[0], series[1]: 100 * sh[1],
+				series[2]: 100 * sh[2], series[3]: 100 * sh[3],
+			},
+		})
+	}
+	fig.computeMeans()
+	return fig, nil
+}
+
+// Fig12 regenerates Figure 12: Rodinia energy-efficiency improvement
+// (inverse total energy vs the baseline) for single-thread, multi-thread,
+// and multi-thread+SIMT execution.
+func Fig12(scale int) (*Figure, error) {
+	series := []string{"single", "multi", "multi+SIMT"}
+	fig := &Figure{ID: "Fig 12", Title: "Rodinia energy-efficiency improvement vs OoO baseline", Series: series}
+	single := diag.F4C32()
+	multi := diag.MultiRing(diag.F4C32(), MultiThreadRings, 2)
+	base1 := ooo.Baseline()
+	baseN := ooo.BaselineMulticore(MultiThreadCores)
+	for _, w := range workloads.BySuite(workloads.Rodinia) {
+		e := Entry{Workload: w.Name, Class: w.Class, Values: map[string]float64{}}
+
+		p1 := workloads.Params{Scale: scale, Threads: 1}
+		b1, err := runOoO(w, p1, base1)
+		if err != nil {
+			return nil, err
+		}
+		d1, err := runDiAG(w, p1, single)
+		if err != nil {
+			return nil, err
+		}
+		e.Values["single"] = power.Efficiency(
+			power.DiAGEnergy(single, d1), power.OoOEnergy(base1, b1, single.FreqMHz))
+
+		pn := workloads.Params{Scale: scale, Threads: MultiThreadCores}
+		bn, err := runOoO(w, pn, baseN)
+		if err != nil {
+			return nil, err
+		}
+		pm := workloads.Params{Scale: scale, Threads: MultiThreadRings}
+		dm, err := runDiAG(w, pm, multi)
+		if err != nil {
+			return nil, err
+		}
+		e.Values["multi"] = power.Efficiency(
+			power.DiAGEnergy(multi, dm), power.OoOEnergy(baseN, bn, multi.FreqMHz))
+
+		if w.SIMTCapable {
+			ps := workloads.Params{Scale: scale, Threads: MultiThreadRings, SIMT: true}
+			ds, err := runDiAG(w, ps, multi)
+			if err != nil {
+				return nil, err
+			}
+			e.Values["multi+SIMT"] = power.Efficiency(
+				power.DiAGEnergy(multi, ds), power.OoOEnergy(baseN, bn, multi.FreqMHz))
+		}
+		fig.Entries = append(fig.Entries, e)
+	}
+	fig.computeMeans()
+	return fig, nil
+}
+
+// StallBreakdown regenerates the §7.3.2 statistic: shares of stall
+// sources averaged across the Rodinia benchmarks on F4C32 (paper: 73.6%
+// memory, 21.1% control, 5.3% other).
+func StallBreakdown(scale int) (*Figure, error) {
+	series := []string{"memory %", "control %", "other %"}
+	fig := &Figure{ID: "§7.3.2", Title: "DiAG stall-source breakdown (F4C32, Rodinia)", Series: series}
+	cfg := diag.F4C32()
+	var agg diag.Stats
+	for _, w := range workloads.BySuite(workloads.Rodinia) {
+		st, err := runDiAG(w, workloads.Params{Scale: scale, Threads: 1}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fig.Entries = append(fig.Entries, Entry{
+			Workload: w.Name, Class: w.Class,
+			Values: map[string]float64{
+				series[0]: 100 * st.StallShare(diag.StallMemory),
+				series[1]: 100 * st.StallShare(diag.StallControl),
+				series[2]: 100 * st.StallShare(diag.StallOther),
+			},
+		})
+		agg.Merge(st)
+	}
+	fig.Entries = append(fig.Entries, Entry{
+		Workload: "AVERAGE", Class: "",
+		Values: map[string]float64{
+			series[0]: 100 * agg.StallShare(diag.StallMemory),
+			series[1]: 100 * agg.StallShare(diag.StallControl),
+			series[2]: 100 * agg.StallShare(diag.StallOther),
+		},
+	})
+	fig.computeMeans()
+	return fig, nil
+}
+
+// Table1 renders the paper's Table 1: how each pipeline stage/structure
+// is realized on the baseline and on DiAG before and during reuse (§5.3).
+func Table1() *stats.Table {
+	t := stats.NewTable("Table 1: Comparison with out-of-order processor",
+		"Stages and Structures", "Out-of-Order Processor", "DiAG (Initial)", "DiAG (Reuse)")
+	rows := [][4]string{
+		{"Fetch", "Yes", "Yes (Batch)", "No"},
+		{"Decode", "Yes", "Yes", "No"},
+		{"Issue", "Yes", "No", "No"},
+		{"Issue Width", "4-8 Instr.", "Scalable", "Scalable"},
+		{"Rename", "Yes", "No", "No"},
+		{"Register File", "Physical RF", "Reg Lanes", "Reg Lanes"},
+		{"Dispatch", "Yes", "No", "No"},
+		{"Execute", "Yes", "Yes", "Yes"},
+		{"Commit", "Reorder Buffer", "Reg Lanes", "Reg Lanes"},
+	}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1], r[2], r[3])
+	}
+	return t
+}
+
+// Table2 renders the paper's Table 2: the evaluated configurations.
+func Table2() *stats.Table {
+	t := stats.NewTable("Table 2: DiAG configurations used for evaluation",
+		"Configuration", "ISA", "PEs/Cluster", "Clusters", "Total PEs", "Freq (MHz)", "L1I", "L1D", "L2")
+	for _, cfg := range []diag.Config{diag.I4C2(), diag.F4C2(), diag.F4C16(), diag.F4C32()} {
+		l2 := "N/A"
+		if cfg.L2Size > 0 {
+			l2 = fmt.Sprintf("%dMB", cfg.L2Size>>20)
+		}
+		t.AddRow(cfg.Name, cfg.ISA.String(),
+			fmt.Sprint(cfg.PEsPerCluster), fmt.Sprint(cfg.Clusters),
+			fmt.Sprint(cfg.TotalPEs()), fmt.Sprint(cfg.FreqMHz),
+			fmt.Sprintf("%dKB", cfg.L1ISize>>10), fmt.Sprintf("%dKB", cfg.L1DSize>>10), l2)
+	}
+	return t
+}
+
+// Table3 renders the paper's Table 3 via the area/power model.
+func Table3() *stats.Table {
+	return power.DiAGArea(diag.F4C32()).Table()
+}
+
+// RunWorkloadOnce is a convenience for examples and the CLI: run one
+// workload on both machines and return (diag stats, baseline stats).
+func RunWorkloadOnce(name string, p workloads.Params, cfg diag.Config) (diag.Stats, ooo.Stats, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return diag.Stats{}, ooo.Stats{}, fmt.Errorf("bench: unknown workload %q", name)
+	}
+	d, err := runDiAG(w, p, cfg)
+	if err != nil {
+		return diag.Stats{}, ooo.Stats{}, err
+	}
+	baseCfg := ooo.Baseline()
+	if p.Threads > 1 {
+		baseCfg = ooo.BaselineMulticore(p.Threads)
+	}
+	b, err := runOoO(w, p, baseCfg)
+	if err != nil {
+		return diag.Stats{}, ooo.Stats{}, err
+	}
+	return d, b, nil
+}
+
+// BuildImage builds a workload image (for tools that drive machines
+// directly).
+func BuildImage(name string, p workloads.Params) (*mem.Image, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown workload %q", name)
+	}
+	return w.Build(p)
+}
+
+// CSV renders the figure as comma-separated values (one header row,
+// one row per benchmark, means last) for downstream plotting.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("benchmark,class")
+	for _, s := range f.Series {
+		b.WriteString(",")
+		b.WriteString(s)
+	}
+	b.WriteString("\n")
+	row := func(name, class string, vals map[string]float64) {
+		b.WriteString(name)
+		b.WriteString(",")
+		b.WriteString(class)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, ",%.4f", vals[s])
+		}
+		b.WriteString("\n")
+	}
+	for _, e := range f.Entries {
+		row(e.Workload, e.Class, e.Values)
+	}
+	row("geomean", "", f.Means)
+	return b.String()
+}
+
+// ScalingSweep measures one workload across machines of growing cluster
+// count (32..512 PEs and beyond if asked), supporting the paper's
+// §7.2.1 observation that serial performance saturates past 256 PEs
+// "much like large ROB sizes". Relative performance is against the
+// single-core baseline.
+func ScalingSweep(name string, clusterCounts []int, scale int) (*Figure, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown workload %q", name)
+	}
+	p := workloads.Params{Scale: scale, Threads: 1}
+	base, err := runOoO(w, p, ooo.Baseline())
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "sweep",
+		Title:  fmt.Sprintf("%s: relative performance vs cluster count (PE scaling)", name),
+		Series: []string{"rel. perf", "IPC", "reuse hits", "lines fetched"},
+	}
+	for _, n := range clusterCounts {
+		cfg := diag.F4C32()
+		cfg.Clusters = n
+		cfg.Name = fmt.Sprintf("C%d", n)
+		st, err := runDiAG(w, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fig.Entries = append(fig.Entries, Entry{
+			Workload: fmt.Sprintf("%d clusters (%d PEs)", n, cfg.TotalPEs()),
+			Class:    w.Class,
+			Values: map[string]float64{
+				"rel. perf":     stats.Ratio(float64(base.Cycles), float64(st.Cycles)),
+				"IPC":           st.IPC(),
+				"reuse hits":    float64(st.ReuseHits),
+				"lines fetched": float64(st.LinesFetched),
+			},
+		})
+	}
+	fig.computeMeans()
+	return fig, nil
+}
+
+// Describe returns the workload inventory as a table.
+func Describe() *stats.Table {
+	t := stats.NewTable("Benchmark kernels",
+		"name", "suite", "class", "FP", "parallel loop SIMT-capable")
+	for _, w := range workloads.All() {
+		t.AddRow(w.Name, w.Suite.String(), w.Class,
+			fmt.Sprint(w.FP), fmt.Sprint(w.SIMTCapable))
+	}
+	return t
+}

@@ -1,0 +1,234 @@
+// Package branch implements the direction predictors, branch target
+// buffer, and return address stack used by the out-of-order baseline
+// machine (the paper's gem5 ARM model is "aggressively configured"; we
+// give it a tournament predictor). The DiAG machine does not predict —
+// its PC lane squashes mismatched PEs (§4.3) — but the bench harness
+// reuses these models for ablations.
+package branch
+
+// Predictor guesses conditional branch directions.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint32) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint32, taken bool)
+}
+
+// counter is a 2-bit saturating counter; taken if >= 2.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// NotTaken is the static always-not-taken predictor.
+type NotTaken struct{}
+
+// Predict implements Predictor.
+func (NotTaken) Predict(uint32) bool { return false }
+
+// Update implements Predictor.
+func (NotTaken) Update(uint32, bool) {}
+
+// BTFN is the static backward-taken / forward-not-taken predictor. It
+// needs the branch offset, so it is constructed per-branch by the caller
+// via PredictOffset; through the plain Predictor interface it behaves
+// like NotTaken.
+type BTFN struct{}
+
+// Predict implements Predictor (forward assumption).
+func (BTFN) Predict(uint32) bool { return false }
+
+// Update implements Predictor.
+func (BTFN) Update(uint32, bool) {}
+
+// PredictOffset predicts taken for negative (backward) offsets.
+func (BTFN) PredictOffset(offset int32) bool { return offset < 0 }
+
+// Bimodal is a classic per-PC 2-bit counter table.
+type Bimodal struct {
+	table []counter
+	mask  uint32
+}
+
+// NewBimodal builds a bimodal predictor with 2^bits entries, initialized
+// weakly not-taken.
+func NewBimodal(bits int) *Bimodal {
+	n := 1 << bits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 1
+	}
+	return &Bimodal{table: t, mask: uint32(n - 1)}
+}
+
+func (b *Bimodal) idx(pc uint32) uint32 { return (pc >> 2) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint32) bool { return b.table[b.idx(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint32, taken bool) {
+	i := b.idx(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// GShare XORs global history into the table index, capturing correlated
+// branches.
+type GShare struct {
+	table   []counter
+	mask    uint32
+	history uint32
+	hbits   uint32
+}
+
+// NewGShare builds a gshare predictor with 2^bits counters and hbits of
+// global history.
+func NewGShare(bits, hbits int) *GShare {
+	n := 1 << bits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 1
+	}
+	return &GShare{table: t, mask: uint32(n - 1), hbits: uint32(hbits)}
+}
+
+func (g *GShare) idx(pc uint32) uint32 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *GShare) Predict(pc uint32) bool { return g.table[g.idx(pc)].taken() }
+
+// Update implements Predictor.
+func (g *GShare) Update(pc uint32, taken bool) {
+	i := g.idx(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history = (g.history << 1) & (1<<g.hbits - 1)
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Tournament arbitrates between a bimodal and a gshare component with a
+// per-PC chooser table.
+type Tournament struct {
+	bimodal *Bimodal
+	gshare  *GShare
+	chooser []counter // >= 2 selects gshare
+	mask    uint32
+}
+
+// NewTournament builds a tournament predictor; bits sizes all three
+// tables.
+func NewTournament(bits int) *Tournament {
+	n := 1 << bits
+	ch := make([]counter, n)
+	for i := range ch {
+		ch[i] = 2
+	}
+	return &Tournament{
+		bimodal: NewBimodal(bits),
+		gshare:  NewGShare(bits, 12),
+		chooser: ch,
+		mask:    uint32(n - 1),
+	}
+}
+
+// Predict implements Predictor.
+func (t *Tournament) Predict(pc uint32) bool {
+	if t.chooser[(pc>>2)&t.mask].taken() {
+		return t.gshare.Predict(pc)
+	}
+	return t.bimodal.Predict(pc)
+}
+
+// Update implements Predictor, training both components and steering the
+// chooser toward whichever was correct.
+func (t *Tournament) Update(pc uint32, taken bool) {
+	bp := t.bimodal.Predict(pc)
+	gp := t.gshare.Predict(pc)
+	i := (pc >> 2) & t.mask
+	if bp != gp {
+		t.chooser[i] = t.chooser[i].update(gp == taken)
+	}
+	t.bimodal.Update(pc, taken)
+	t.gshare.Update(pc, taken)
+}
+
+// BTB caches branch/jump target addresses.
+type BTB struct {
+	tags    []uint32
+	targets []uint32
+	valid   []bool
+	mask    uint32
+}
+
+// NewBTB builds a direct-mapped BTB with 2^bits entries.
+func NewBTB(bits int) *BTB {
+	n := 1 << bits
+	return &BTB{
+		tags:    make([]uint32, n),
+		targets: make([]uint32, n),
+		valid:   make([]bool, n),
+		mask:    uint32(n - 1),
+	}
+}
+
+// Lookup returns the cached target for pc.
+func (b *BTB) Lookup(pc uint32) (uint32, bool) {
+	i := (pc >> 2) & b.mask
+	if b.valid[i] && b.tags[i] == pc {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Insert caches target for pc.
+func (b *BTB) Insert(pc, target uint32) {
+	i := (pc >> 2) & b.mask
+	b.tags[i] = pc
+	b.targets[i] = target
+	b.valid[i] = true
+}
+
+// RAS is a circular return-address stack.
+type RAS struct {
+	stack []uint32
+	top   int
+	depth int
+}
+
+// NewRAS builds a return-address stack with n entries.
+func NewRAS(n int) *RAS {
+	return &RAS{stack: make([]uint32, n)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint32) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = addr
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return; ok is false when empty.
+func (r *RAS) Pop() (uint32, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	v := r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return v, true
+}

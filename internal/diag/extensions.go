@@ -1,0 +1,103 @@
+package diag
+
+import "diag/internal/isa"
+
+// This file implements the optional extensions the paper sketches as
+// future work, each off by default and selectable per configuration:
+//
+//   - PE-local stride prefetching (§5.2): "with instruction reuse, each
+//     PE is assigned a single memory instruction whose address likely
+//     changes in a fixed pattern each iteration. We expect that
+//     localized stride prefetching ... will be effective."
+//   - Shared cluster FPUs (§7.5, first direction): "shares functional
+//     units within clusters not unlike a CPU's back-end. We inevitably
+//     sacrifice some performance due to structural hazards" — in
+//     exchange for a large area reduction (the FPU is 68% of a PE).
+//   - Speculative datapaths (§7.3.2): "penalties due to unpredictable
+//     control flow changes can potentially be ameliorated by
+//     simultaneously constructing multiple speculative datapaths since
+//     DiAG's hardware resources are abundant but usually sparsely
+//     enabled."
+
+// strideState tracks one PE slot's load-address pattern for the stride
+// prefetcher.
+type strideState struct {
+	lastAddr uint32
+	stride   int32
+	valid    bool
+	trained  bool // stride confirmed twice
+}
+
+// observeLoad trains the PE-local stride predictor and, when confident,
+// warms the memory lanes with the next iteration's line in the
+// background (no latency charged to the demand stream; bandwidth is
+// consumed at the L1D).
+func (r *Ring) observeLoad(pos int, addr uint32, now int64) {
+	if !r.cfg.StridePrefetch {
+		return
+	}
+	st := &r.strides[pos]
+	if !st.valid {
+		*st = strideState{lastAddr: addr, valid: true}
+		return
+	}
+	stride := int32(addr - st.lastAddr)
+	if st.stride == stride && stride != 0 {
+		st.trained = true
+	} else {
+		st.trained = false
+	}
+	st.stride = stride
+	st.lastAddr = addr
+	if st.trained {
+		next := addr + uint32(stride)
+		if !r.memlanes.Contains(next) {
+			r.stats.StridePrefetches++
+			r.memlanes.Access(now, next, false)
+		}
+	}
+}
+
+// fpuStart models shared cluster FPUs: with SharedFPUs > 0, an FP
+// instruction in cluster ci must acquire one of the cluster's units
+// (structural hazard); otherwise every PE owns its FPU and start is
+// unchanged.
+func (r *Ring) fpuStart(ci int, start, lat int64, op isa.Op) int64 {
+	n := r.cfg.SharedFPUs
+	if n <= 0 || !op.IsFP() {
+		return start
+	}
+	pool := r.fpus[ci]
+	best := 0
+	for i := 1; i < len(pool); i++ {
+		if pool[i] < pool[best] {
+			best = i
+		}
+	}
+	if pool[best] > start {
+		start = pool[best]
+	}
+	// Divide/sqrt units block; the rest are pipelined.
+	switch op.Class() {
+	case isa.ClassFPDiv, isa.ClassFPSqrt:
+		pool[best] = start + lat
+	default:
+		pool[best] = start + 1
+	}
+	r.fpus[ci] = pool
+	return start
+}
+
+// recordBranchTarget remembers resolved taken-branch targets so the
+// control unit can speculatively construct the target datapath next time
+// (SpeculativeDatapaths). Returns true if the target's line had been
+// speculatively loaded — the redirect then pays only the PC-lane restart
+// instead of a full fetch.
+func (r *Ring) specTargetReady(pc, target uint32) bool {
+	if !r.cfg.SpeculativeDatapaths {
+		return false
+	}
+	seen := r.specTargets[pc] == r.lineBase(target)
+	r.specTargets[pc] = r.lineBase(target)
+	return seen
+}

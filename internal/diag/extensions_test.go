@@ -1,0 +1,181 @@
+package diag
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"diag/internal/mem"
+)
+
+// streamKernel walks a large array with a fixed stride — the access
+// pattern §5.2 says PE-local stride prefetching should exploit.
+func streamKernel(t *testing.T) *mem.Image {
+	t.Helper()
+	img := build(t, `
+	li   s0, 0x100000
+	li   t0, 0
+	li   t1, 8192       # elements
+	li   s1, 0
+loop:
+	slli t2, t0, 3      # stride 8B: every other word, crosses lines fast
+	add  t2, t2, s0
+	lw   t3, 0(t2)
+	add  s1, s1, t3
+	addi t0, t0, 1
+	blt  t0, t1, loop
+	li   t4, 0x700
+	sw   s1, 0(t4)
+	ebreak
+	`)
+	data := make([]byte, 8192*8+64)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	img.Segments = append(img.Segments, mem.Segment{Addr: 0x100000, Data: data})
+	return img
+}
+
+func TestStridePrefetchSpeedsUpStreams(t *testing.T) {
+	img := streamKernel(t)
+	base := F4C2()
+	st0, m0 := runOn(t, base, img)
+
+	pf := F4C2()
+	pf.StridePrefetch = true
+	st1, m1 := runOn(t, pf, img)
+
+	if m0.LoadWord(0x700) != m1.LoadWord(0x700) {
+		t.Fatal("prefetching must not change results")
+	}
+	if st1.StridePrefetches == 0 {
+		t.Fatal("stride prefetcher never fired")
+	}
+	if st1.Cycles >= st0.Cycles {
+		t.Errorf("stride prefetch should speed up streaming: %d vs %d cycles",
+			st1.Cycles, st0.Cycles)
+	}
+	t.Logf("stream: %d -> %d cycles (%.2fx), %d prefetches",
+		st0.Cycles, st1.Cycles, float64(st0.Cycles)/float64(st1.Cycles), st1.StridePrefetches)
+}
+
+func TestStridePrefetchHarmlessOnPointerChase(t *testing.T) {
+	// Irregular strides: the predictor must not train (or at least not
+	// break correctness).
+	img := build(t, `
+	li   s0, 0x100000
+	li   t0, 0
+	li   t1, 100
+	li   t3, 1
+loop:
+	slli t2, t3, 2
+	add  t2, t2, s0
+	lw   t3, 0(t2)
+	addi t0, t0, 1
+	blt  t0, t1, loop
+	li   t4, 0x700
+	sw   t3, 0(t4)
+	ebreak
+	`)
+	data := make([]byte, 4096)
+	for i := 0; i < 1024; i++ {
+		putWord(data, i, uint32((i*37+11)%1024))
+	}
+	img.Segments = append(img.Segments, mem.Segment{Addr: 0x100000, Data: data})
+
+	pf := F4C2()
+	pf.StridePrefetch = true
+	st, m := runOn(t, pf, img)
+	ref := issRun(t, img)
+	if m.LoadWord(0x700) != ref.Mem.LoadWord(0x700) {
+		t.Error("prefetch changed architectural result")
+	}
+	_ = st
+}
+
+// fpKernel has back-to-back independent FP multiplies; with one shared
+// FPU per cluster they must serialize.
+func fpKernel(t *testing.T) *mem.Image {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("\tli t5, 0\n\tli t6, 200\n")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "\tli a%d, %d\n\tfcvt.s.w ft%d, a%d\n", i%8, i+1, i, i%8)
+	}
+	b.WriteString("loop:\n")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "\tfmul.s fa%d, ft%d, ft%d\n", i, i, i)
+	}
+	b.WriteString("\taddi t5, t5, 1\n\tblt t5, t6, loop\n\tebreak\n")
+	return build(t, b.String())
+}
+
+func TestSharedFPUsCostPerformance(t *testing.T) {
+	img := fpKernel(t)
+	private, _ := runOn(t, F4C16(), img)
+
+	shared := F4C16()
+	shared.SharedFPUs = 1
+	sh, _ := runOn(t, shared, img)
+
+	if sh.Cycles <= private.Cycles {
+		t.Errorf("1 shared FPU should be slower than per-PE FPUs: %d vs %d",
+			sh.Cycles, private.Cycles)
+	}
+	if sh.StallCycles[StallOther] == 0 {
+		t.Error("structural FPU hazards should be attributed to 'other'")
+	}
+
+	// More shared units recover performance monotonically.
+	shared4 := F4C16()
+	shared4.SharedFPUs = 4
+	sh4, _ := runOn(t, shared4, img)
+	if sh4.Cycles > sh.Cycles {
+		t.Errorf("4 shared FPUs (%d cycles) should not be slower than 1 (%d)",
+			sh4.Cycles, sh.Cycles)
+	}
+}
+
+func TestSpeculativeDatapathsHelpBigLoops(t *testing.T) {
+	// A loop whose body spans more lines than F4C2's window: every
+	// iteration reloads, so remembering taken targets pays off.
+	var b strings.Builder
+	b.WriteString("\tli t5, 0\n\tli t6, 300\nloop:\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "\taddi s%d, s%d, %d\n", i%4, i%4, i%5)
+	}
+	b.WriteString("\taddi t5, t5, 1\n\tblt t5, t6, loop\n\tebreak\n")
+	img := build(t, b.String())
+
+	plain, _ := runOn(t, F4C2(), img)
+	spec := F4C2()
+	spec.SpeculativeDatapaths = true
+	sp, _ := runOn(t, spec, img)
+
+	if sp.SpecDatapathHits == 0 {
+		t.Fatal("speculative datapaths never hit")
+	}
+	if sp.Cycles >= plain.Cycles {
+		t.Errorf("speculative datapaths should cut redirect cost: %d vs %d",
+			sp.Cycles, plain.Cycles)
+	}
+	t.Logf("big loop: %d -> %d cycles, %d spec hits", plain.Cycles, sp.Cycles, sp.SpecDatapathHits)
+}
+
+func TestExtensionsPreserveResults(t *testing.T) {
+	// All three extensions at once on a mixed kernel must be
+	// architecturally invisible.
+	img := simtImage(t)
+	ref := issRun(t, img)
+	cfg := F4C16()
+	cfg.StridePrefetch = true
+	cfg.SpeculativeDatapaths = true
+	cfg.SharedFPUs = 2
+	_, m := runOn(t, cfg, img)
+	for i := 0; i < 256; i++ {
+		addr := uint32(0x102000 + 4*i)
+		if m.LoadWord(addr) != ref.Mem.LoadWord(addr) {
+			t.Fatalf("extensions changed result at c[%d]", i)
+		}
+	}
+}

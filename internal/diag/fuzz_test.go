@@ -1,0 +1,110 @@
+package diag
+
+import (
+	"testing"
+
+	"diag/internal/testprog"
+)
+
+// TestFuzzBranchyProgramsMatchISS exercises the DiAG timing model with
+// random structured programs (forward branches, bounded loops, memory
+// traffic) across all configurations and extension combinations: the
+// architectural state must always equal the golden ISS's.
+func TestFuzzBranchyProgramsMatchISS(t *testing.T) {
+	configs := []func() Config{F4C2, F4C16, F4C32}
+	for seed := int64(0); seed < 20; seed++ {
+		src := testprog.Generate(testprog.Options{Seed: seed})
+		img := build(t, src)
+		ref := issRun(t, img)
+		for ci, mk := range configs {
+			cfg := mk()
+			// Rotate the extensions through the fuzz corpus.
+			switch seed % 4 {
+			case 1:
+				cfg.StridePrefetch = true
+			case 2:
+				cfg.SpeculativeDatapaths = true
+			case 3:
+				cfg.SharedFPUs = 2
+			}
+			st, m := runOn(t, cfg, img)
+			for i := 0; i < 15; i++ {
+				addr := uint32(testprog.ScratchBase + 4*i)
+				if m.LoadWord(addr) != ref.Mem.LoadWord(addr) {
+					t.Fatalf("seed %d cfg %d: x%d = %d, iss %d",
+						seed, ci, i+1, m.LoadWord(addr), ref.Mem.LoadWord(addr))
+				}
+			}
+			if st.Retired != ref.Instret {
+				t.Fatalf("seed %d cfg %d: retired %d, iss %d", seed, ci, st.Retired, ref.Instret)
+			}
+		}
+	}
+}
+
+// TestFuzzTimingSanity checks cross-configuration timing invariants on
+// the fuzz corpus: cycles are positive, and since the programs are
+// identical, the per-config retire counts agree.
+func TestFuzzTimingSanity(t *testing.T) {
+	for seed := int64(20); seed < 30; seed++ {
+		src := testprog.Generate(testprog.Options{Seed: seed, Blocks: 12})
+		img := build(t, src)
+		small, _ := runOn(t, F4C2(), img)
+		large, _ := runOn(t, F4C32(), img)
+		if small.Cycles <= 0 || large.Cycles <= 0 {
+			t.Fatalf("seed %d: nonpositive cycles", seed)
+		}
+		if small.Retired != large.Retired {
+			t.Fatalf("seed %d: retired differ %d vs %d", seed, small.Retired, large.Retired)
+		}
+		// A bigger window can reduce line refetching but never retire a
+		// different instruction count; lines fetched must not increase.
+		if large.LinesFetched > small.LinesFetched {
+			t.Errorf("seed %d: F4C32 fetched more lines (%d) than F4C2 (%d)",
+				seed, large.LinesFetched, small.LinesFetched)
+		}
+	}
+}
+
+// TestTimingMonotonicity: degrading a resource never speeds a program
+// up, across the fuzz corpus.
+func TestTimingMonotonicity(t *testing.T) {
+	for seed := int64(40); seed < 46; seed++ {
+		src := testprog.Generate(testprog.Options{Seed: seed, Blocks: 10})
+		img := build(t, src)
+		base, _ := runOn(t, F4C16(), img)
+
+		slowDRAM := F4C16()
+		slowDRAM.DRAMLatency = 400
+		sd, _ := runOn(t, slowDRAM, img)
+		if sd.Cycles < base.Cycles {
+			t.Errorf("seed %d: slower DRAM sped things up (%d < %d)", seed, sd.Cycles, base.Cycles)
+		}
+
+		slowDecode := F4C16()
+		slowDecode.DecodeCycles = 4
+		dc, _ := runOn(t, slowDecode, img)
+		if dc.Cycles < base.Cycles {
+			t.Errorf("seed %d: slower decode sped things up (%d < %d)", seed, dc.Cycles, base.Cycles)
+		}
+
+		tinyL1 := F4C16()
+		tinyL1.L1DSize = 1 << 10
+		tl, _ := runOn(t, tinyL1, img)
+		if tl.Cycles < base.Cycles {
+			t.Errorf("seed %d: tiny L1D sped things up (%d < %d)", seed, tl.Cycles, base.Cycles)
+		}
+	}
+}
+
+// TestDeterminism: the simulator must be bit-identical across runs —
+// same cycles, same stall mix, same cache stats.
+func TestDeterminism(t *testing.T) {
+	src := testprog.Generate(testprog.Options{Seed: 7, Blocks: 12})
+	img := build(t, src)
+	a, _ := runOn(t, F4C16(), img)
+	b, _ := runOn(t, F4C16(), img)
+	if a != b {
+		t.Errorf("nondeterministic stats:\n%+v\nvs\n%+v", a, b)
+	}
+}

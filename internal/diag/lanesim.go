@@ -1,0 +1,260 @@
+package diag
+
+import (
+	"fmt"
+
+	"diag/internal/isa"
+	"diag/internal/iss"
+	"diag/internal/mem"
+)
+
+// This file implements LaneSim, a literal cycle-accurate simulation of a
+// single processing cluster exactly as §4.1 and Figure 3 describe it:
+// one instruction per PE, register lanes carrying (value, valid) through
+// a 2-input mux at every PE, a pipeline buffer every LaneBufferEvery
+// PEs (§6.1.2), and PEs that begin executing the cycle their source
+// lanes turn valid. It exists as a *validation reference* for the
+// scoreboard model in machine.go: both must agree on architectural
+// results and on the dataflow-limited completion time of straight-line
+// code (see lanesim_test.go, which reproduces Figure 3's "completes in
+// 3 cycles" example directly).
+//
+// LaneSim is deliberately restricted to what the figure shows: a single
+// cluster of register-register instructions (no memory, no control
+// flow). The full machine model handles everything else.
+
+// peState is one PE's execution progress in the lane simulation.
+type peState int
+
+const (
+	peWaiting peState = iota
+	peExecuting
+	peDone
+)
+
+// LaneSim simulates one processing cluster at lane granularity.
+type LaneSim struct {
+	cfg   Config
+	insts []isa.Inst
+
+	state     []peState
+	remaining []int
+	startAt   []int    // cycle each PE started executing (-1 until then)
+	outInt    []uint32 // latched integer output per PE
+	outFP     []uint32 // latched FP output per PE
+	doneAt    []int
+
+	inInt [isa.NumRegs]uint32
+	inFP  [isa.NumRegs]uint32
+
+	cycle int
+}
+
+// NewLaneSim builds a lane-level cluster simulation for a straight-line
+// block of at most PEsPerCluster register-register instructions.
+func NewLaneSim(cfg Config, insts []isa.Inst, intRF [isa.NumRegs]uint32, fpRF [isa.NumRegs]uint32) (*LaneSim, error) {
+	cfg.setDefaults()
+	if len(insts) > cfg.PEsPerCluster {
+		return nil, fmt.Errorf("diag: %d instructions exceed one cluster (%d PEs)", len(insts), cfg.PEsPerCluster)
+	}
+	for i, in := range insts {
+		if in.Op.IsMem() || in.Op.IsControl() || in.Op.Class() == isa.ClassSys || in.Op.Class() == isa.ClassSIMT {
+			return nil, fmt.Errorf("diag: LaneSim models compute-only blocks; instruction %d (%v) is not register-register", i, in.Op)
+		}
+	}
+	ls := &LaneSim{
+		cfg:       cfg,
+		insts:     append([]isa.Inst(nil), insts...),
+		state:     make([]peState, len(insts)),
+		remaining: make([]int, len(insts)),
+		startAt:   make([]int, len(insts)),
+		outInt:    make([]uint32, len(insts)),
+		outFP:     make([]uint32, len(insts)),
+		doneAt:    make([]int, len(insts)),
+		inInt:     intRF,
+		inFP:      fpRF,
+	}
+	for i := range ls.startAt {
+		ls.startAt[i] = -1
+		ls.doneAt[i] = -1
+	}
+	return ls, nil
+}
+
+// laneView computes, for PE position pos at the current cycle, the lane
+// value and validity of register r in the given file. It walks the mux
+// chain: the most recent upstream writer drives the lane; its output is
+// valid once the writer is done AND the value has crossed every lane
+// buffer between writer and reader (one extra cycle per boundary,
+// §6.1.2). With no upstream writer the cluster-input value drives the
+// lane (valid, after buffer propagation from position 0 — the paper
+// charges that at cluster load, so we treat inputs as pre-propagated).
+func (ls *LaneSim) laneView(pos int, r isa.Reg, fp bool) (uint32, bool) {
+	for i := pos - 1; i >= 0; i-- {
+		in := ls.insts[i]
+		if !in.Op.WritesRd() || in.Rd != r || in.Op.FPRd() != fp {
+			continue
+		}
+		if !fp && r == isa.Zero {
+			continue // x0 is never driven
+		}
+		if ls.state[i] != peDone {
+			return 0, false // lane claimed but output not yet valid
+		}
+		// The writer's result becomes visible on the cycle after it
+		// completes, plus one cycle per lane buffer crossed (§6.1.2).
+		k := ls.cfg.LaneBufferEvery
+		hops := pos/k - i/k
+		if ls.cycle < ls.doneAt[i]+1+hops {
+			return 0, false // still propagating through lane buffers
+		}
+		if fp {
+			return ls.outFP[i], true
+		}
+		return ls.outInt[i], true
+	}
+	if fp {
+		return ls.inFP[r], true
+	}
+	return ls.inInt[r], true
+}
+
+// ready reports whether all of PE pos's source lanes are valid, and
+// returns the operand snapshot.
+func (ls *LaneSim) ready(pos int) (intOps [isa.NumRegs]uint32, fpOps [isa.NumRegs]uint32, ok bool) {
+	in := ls.insts[pos]
+	intOps = ls.inInt
+	fpOps = ls.inFP
+	read := func(r isa.Reg, fp bool) bool {
+		v, valid := ls.laneView(pos, r, fp)
+		if !valid {
+			return false
+		}
+		if fp {
+			fpOps[r] = v
+		} else {
+			intOps[r] = v
+		}
+		return true
+	}
+	if in.Op.ReadsRs1() && !read(in.Rs1, in.Op.FPRs1()) {
+		return intOps, fpOps, false
+	}
+	if in.Op.ReadsRs2() && !read(in.Rs2, in.Op.FPRs2()) {
+		return intOps, fpOps, false
+	}
+	if in.Op.ReadsRs3() && !read(in.Rs3, true) {
+		return intOps, fpOps, false
+	}
+	return intOps, fpOps, true
+}
+
+// execute computes PE pos's result using the golden ISS semantics on an
+// isolated one-instruction machine.
+func (ls *LaneSim) execute(pos int, intOps [isa.NumRegs]uint32, fpOps [isa.NumRegs]uint32) error {
+	in := ls.insts[pos]
+	m := mem.New()
+	word, err := isa.Encode(in)
+	if err != nil {
+		return err
+	}
+	m.StoreWord(0, word)
+	cpu := iss.New(m, 0)
+	cpu.X = intOps
+	cpu.F = fpOps
+	cpu.Step()
+	if cpu.Err != nil {
+		return cpu.Err
+	}
+	if in.Op.FPRd() {
+		ls.outFP[pos] = cpu.F[in.Rd]
+	} else {
+		ls.outInt[pos] = cpu.X[in.Rd]
+	}
+	return nil
+}
+
+// Step advances the cluster by one cycle; it returns true while any PE
+// is still busy.
+func (ls *LaneSim) Step() (bool, error) {
+	ls.cycle++
+	// Issue phase: any waiting PE whose source lanes are valid at the
+	// start of this cycle begins executing (Figure 3: i0/i2 in cycle 1,
+	// their dependents in cycle 2).
+	for i := range ls.insts {
+		if ls.state[i] != peWaiting {
+			continue
+		}
+		intOps, fpOps, ok := ls.ready(i)
+		if !ok {
+			continue
+		}
+		if err := ls.execute(i, intOps, fpOps); err != nil {
+			return false, err
+		}
+		ls.state[i] = peExecuting
+		ls.startAt[i] = ls.cycle
+		ls.remaining[i] = ls.insts[i].Op.Class().Latency()
+	}
+	// Execute phase: busy PEs burn this cycle; a 1-cycle op issued this
+	// cycle completes at its end (done in cycle N feeds issues in N+1).
+	busy := false
+	for i := range ls.insts {
+		switch ls.state[i] {
+		case peExecuting:
+			ls.remaining[i]--
+			if ls.remaining[i] == 0 {
+				ls.state[i] = peDone
+				ls.doneAt[i] = ls.cycle
+			} else {
+				busy = true
+			}
+		case peWaiting:
+			busy = true
+		}
+	}
+	return busy, nil
+}
+
+// Run executes the cluster to completion and returns the cycle at which
+// the last PE finished.
+func (ls *LaneSim) Run() (int, error) {
+	const cap = 1 << 20
+	for guard := 0; guard < cap; guard++ {
+		busy, err := ls.Step()
+		if err != nil {
+			return 0, err
+		}
+		if !busy {
+			last := 0
+			for _, d := range ls.doneAt {
+				if d > last {
+					last = d
+				}
+			}
+			return last, nil
+		}
+	}
+	return 0, fmt.Errorf("diag: LaneSim did not converge (deadlocked lane dependency?)")
+}
+
+// StartCycle returns the cycle PE i began executing (-1 if it never ran).
+func (ls *LaneSim) StartCycle(i int) int { return ls.startAt[i] }
+
+// OutputRF returns the architectural register files at the cluster's
+// output boundary: for every register, the last writer's value or the
+// input value.
+func (ls *LaneSim) OutputRF() (intRF [isa.NumRegs]uint32, fpRF [isa.NumRegs]uint32) {
+	// Evaluate the lanes at a virtual position past the last PE, at a
+	// cycle late enough for full propagation.
+	ls.cycle += len(ls.insts) + 4
+	for r := 0; r < isa.NumRegs; r++ {
+		if v, ok := ls.laneView(len(ls.insts), isa.Reg(r), false); ok {
+			intRF[r] = v
+		}
+		if v, ok := ls.laneView(len(ls.insts), isa.Reg(r), true); ok {
+			fpRF[r] = v
+		}
+	}
+	return
+}

@@ -1,0 +1,284 @@
+package diag
+
+import (
+	"math/rand"
+	"testing"
+
+	"diag/internal/isa"
+	"diag/internal/iss"
+	"diag/internal/mem"
+)
+
+// TestFigure3CompletesInThreeCycles reproduces the paper's running
+// example: the five-instruction Euclidean-distance DFG with 1-cycle
+// operations completes in exactly 3 cycles, with i0/i2 issuing in cycle
+// 1 (Figure 3C shows the independent pair starting together).
+func TestFigure3CompletesInThreeCycles(t *testing.T) {
+	// Same DFG shape as Figure 3 with unit-latency ALU ops:
+	// i0: r0 = r0 - r2     (depth 1)
+	// i1: r1 = r1 - r3     (depth 1)
+	// i2: r0 = r0 + r0     (depth 2, depends on i0)
+	// i3: r1 = r1 + r1     (depth 2, depends on i1)
+	// i4: r4 = r0 + r1     (depth 3)
+	insts := []isa.Inst{
+		{Op: isa.OpSUB, Rd: 5, Rs1: 5, Rs2: 7},
+		{Op: isa.OpSUB, Rd: 6, Rs1: 6, Rs2: 28},
+		{Op: isa.OpADD, Rd: 5, Rs1: 5, Rs2: 5},
+		{Op: isa.OpADD, Rd: 6, Rs1: 6, Rs2: 6},
+		{Op: isa.OpADD, Rd: 29, Rs1: 5, Rs2: 6},
+	}
+	var intRF [isa.NumRegs]uint32
+	intRF[5], intRF[6], intRF[7], intRF[28] = 10, 20, 4, 6
+	ls, err := NewLaneSim(F4C2(), insts, intRF, [isa.NumRegs]uint32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := ls.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Errorf("Figure 3 DFG completed in %d cycles, paper says 3", done)
+	}
+	// Issue schedule: the two independent subtracts in cycle 1, the two
+	// squares in cycle 2, the final add in cycle 3.
+	wantStart := []int{1, 1, 2, 2, 3}
+	for i, w := range wantStart {
+		if ls.StartCycle(i) != w {
+			t.Errorf("i%d started cycle %d, want %d", i, ls.StartCycle(i), w)
+		}
+	}
+	// Architectural result: r29 = 2*(10-4) + 2*(20-6) = 40.
+	outInt, _ := ls.OutputRF()
+	if outInt[29] != 40 {
+		t.Errorf("result = %d, want 40", outInt[29])
+	}
+}
+
+// TestLaneSimSerialChain: a fully dependent chain of N unit ops takes
+// exactly N cycles within one buffer segment.
+func TestLaneSimSerialChain(t *testing.T) {
+	var insts []isa.Inst
+	for i := 0; i < 8; i++ {
+		insts = append(insts, isa.Inst{Op: isa.OpADD, Rd: 5, Rs1: 5, Rs2: 5})
+	}
+	var rf [isa.NumRegs]uint32
+	rf[5] = 1
+	ls, err := NewLaneSim(F4C2(), insts, rf, [isa.NumRegs]uint32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := ls.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 8 {
+		t.Errorf("8-deep chain took %d cycles, want 8", done)
+	}
+	outInt, _ := ls.OutputRF()
+	if outInt[5] != 1<<8 {
+		t.Errorf("chain result %d, want %d", outInt[5], 1<<8)
+	}
+}
+
+// TestLaneSimIndependentOpsSingleCycle: fully independent instructions
+// all issue in cycle 1 — the "issue width of up to infinite" of §4.2.
+func TestLaneSimIndependentOpsSingleCycle(t *testing.T) {
+	var insts []isa.Inst
+	for i := 0; i < 8; i++ {
+		insts = append(insts, isa.Inst{Op: isa.OpADDI, Rd: isa.Reg(5 + i), Rs1: isa.Zero, Imm: int32(i)})
+	}
+	ls, err := NewLaneSim(F4C2(), insts, [isa.NumRegs]uint32{}, [isa.NumRegs]uint32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := ls.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 1 {
+		t.Errorf("independent ops took %d cycles, want 1", done)
+	}
+	for i := 0; i < 8; i++ {
+		if ls.StartCycle(i) != 1 {
+			t.Errorf("i%d started cycle %d, want 1", i, ls.StartCycle(i))
+		}
+	}
+}
+
+// TestLaneSimBufferCrossingAddsCycle: a dependence crossing the
+// mid-cluster lane buffer (§6.1.2) pays one extra cycle.
+func TestLaneSimBufferCrossingAddsCycle(t *testing.T) {
+	// Producer at position 0, consumer at position 8 (first PE of the
+	// second buffer segment); fill positions 1..7 with unrelated ops.
+	insts := []isa.Inst{{Op: isa.OpADDI, Rd: 5, Rs1: isa.Zero, Imm: 7}}
+	for i := 0; i < 7; i++ {
+		insts = append(insts, isa.Inst{Op: isa.OpADDI, Rd: isa.Reg(10 + i), Rs1: isa.Zero, Imm: 1})
+	}
+	insts = append(insts, isa.Inst{Op: isa.OpADD, Rd: 6, Rs1: 5, Rs2: 5}) // position 8
+	ls, err := NewLaneSim(F4C2(), insts, [isa.NumRegs]uint32{}, [isa.NumRegs]uint32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := ls.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the buffer the chain would finish in 2; the crossing adds 1.
+	if done != 3 {
+		t.Errorf("buffer-crossing chain took %d cycles, want 3", done)
+	}
+	outInt, _ := ls.OutputRF()
+	if outInt[6] != 14 {
+		t.Errorf("result %d, want 14", outInt[6])
+	}
+}
+
+// TestLaneSimMatchesISS: random straight-line register-register blocks
+// produce the exact architectural state of the golden ISS, and
+// completion time equals the analytic dataflow critical path.
+func TestLaneSimMatchesISS(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	ops := []isa.Op{isa.OpADD, isa.OpSUB, isa.OpXOR, isa.OpOR, isa.OpAND, isa.OpSLT, isa.OpADDI, isa.OpXORI}
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(13) // up to 16 instructions
+		var insts []isa.Inst
+		for i := 0; i < n; i++ {
+			op := ops[r.Intn(len(ops))]
+			in := isa.Inst{Op: op,
+				Rd:  isa.Reg(5 + r.Intn(10)),
+				Rs1: isa.Reg(5 + r.Intn(10)),
+				Rs2: isa.Reg(5 + r.Intn(10))}
+			if op == isa.OpADDI || op == isa.OpXORI {
+				in.Rs2 = 0
+				in.Imm = int32(r.Intn(100) - 50)
+			}
+			insts = append(insts, in)
+		}
+		var rf [isa.NumRegs]uint32
+		for i := range rf {
+			rf[i] = uint32(r.Intn(1000))
+		}
+		rf[0] = 0
+
+		ls, err := NewLaneSim(F4C2(), insts, rf, [isa.NumRegs]uint32{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := ls.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Golden reference: execute the same block on the ISS.
+		m := mem.New()
+		for i, in := range insts {
+			m.StoreWord(uint32(4*i), isa.MustEncode(in))
+		}
+		m.StoreWord(uint32(4*len(insts)), isa.MustEncode(isa.Inst{Op: isa.OpEBREAK}))
+		cpu := iss.New(m, 0)
+		cpu.X = rf
+		cpu.Run(1000)
+		if cpu.Err != nil {
+			t.Fatalf("trial %d: iss %v", trial, cpu.Err)
+		}
+
+		outInt, _ := ls.OutputRF()
+		for reg := 1; reg < isa.NumRegs; reg++ {
+			if outInt[reg] != cpu.X[reg] {
+				t.Fatalf("trial %d: x%d = %d, iss %d", trial, reg, outInt[reg], cpu.X[reg])
+			}
+		}
+
+		// Analytic critical path with unit latencies and buffer hops.
+		if want := analyticDepth(insts); done != want {
+			t.Fatalf("trial %d: completed in %d, analytic critical path %d", trial, done, want)
+		}
+	}
+}
+
+// analyticDepth computes the dataflow critical path of a unit-latency
+// block including lane-buffer hop penalties (the independent oracle the
+// lane simulation must match).
+func analyticDepth(insts []isa.Inst) int {
+	const k = 8 // LaneBufferEvery default
+	writer := map[[2]interface{}]int{}
+	depth := make([]int, len(insts))
+	maxDepth := 0
+	for i, in := range insts {
+		d := 0
+		dep := func(r isa.Reg, fp bool) {
+			if !fp && r == 0 {
+				return
+			}
+			if w, ok := writer[[2]interface{}{r, fp}]; ok {
+				hops := i/k - w/k
+				if dd := depth[w] + hops; dd > d {
+					d = dd
+				}
+			}
+		}
+		if in.Op.ReadsRs1() {
+			dep(in.Rs1, in.Op.FPRs1())
+		}
+		if in.Op.ReadsRs2() {
+			dep(in.Rs2, in.Op.FPRs2())
+		}
+		depth[i] = d + 1
+		if in.Op.WritesRd() {
+			writer[[2]interface{}{in.Rd, in.Op.FPRd()}] = i
+		}
+		if depth[i] > maxDepth {
+			maxDepth = depth[i]
+		}
+	}
+	return maxDepth
+}
+
+func TestLaneSimRejectsNonComputeOps(t *testing.T) {
+	for _, in := range []isa.Inst{
+		{Op: isa.OpLW, Rd: 5, Rs1: 6},
+		{Op: isa.OpBEQ, Rs1: 5, Rs2: 6, Imm: 8},
+		{Op: isa.OpEBREAK},
+		{Op: isa.OpSIMTS, Rd: 5, Rs1: 6, Rs2: 7},
+	} {
+		if _, err := NewLaneSim(F4C2(), []isa.Inst{in}, [isa.NumRegs]uint32{}, [isa.NumRegs]uint32{}); err == nil {
+			t.Errorf("%v should be rejected", in.Op)
+		}
+	}
+	// Too many instructions for one cluster.
+	many := make([]isa.Inst, 17)
+	for i := range many {
+		many[i] = isa.Inst{Op: isa.OpADDI, Rd: 5, Rs1: 5, Imm: 1}
+	}
+	if _, err := NewLaneSim(F4C2(), many, [isa.NumRegs]uint32{}, [isa.NumRegs]uint32{}); err == nil {
+		t.Error("17 instructions should exceed a 16-PE cluster")
+	}
+}
+
+// TestLaneSimFPLatencies: FP ops use their multi-cycle latencies.
+func TestLaneSimFPLatencies(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpFADDS, Rd: 1, Rs1: 2, Rs2: 3}, // 3 cycles
+		{Op: isa.OpFMULS, Rd: 4, Rs1: 1, Rs2: 1}, // +1 visible, 4 cycles
+	}
+	var fpRF [isa.NumRegs]uint32
+	fpRF[2] = 0x40000000 // 2.0
+	fpRF[3] = 0x40400000 // 3.0
+	ls, err := NewLaneSim(F4C2(), insts, [isa.NumRegs]uint32{}, fpRF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := ls.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fadd done cycle 3, visible 4; fmul issues 4, done 7.
+	if done != 7 {
+		t.Errorf("FP chain took %d cycles, want 7", done)
+	}
+	_, outFP := ls.OutputRF()
+	if outFP[4] != 0x41C80000 { // 25.0
+		t.Errorf("fp result bits 0x%08x, want 0x41C80000 (25.0)", outFP[4])
+	}
+}

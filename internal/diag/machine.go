@@ -1,0 +1,455 @@
+package diag
+
+import (
+	"fmt"
+
+	"diag/internal/cache"
+	"diag/internal/isa"
+	"diag/internal/iss"
+	"diag/internal/mem"
+)
+
+// operandSrc records who produced the current value of a register lane.
+type operandSrc struct {
+	ready  int64 // cycle the value becomes valid at the producer
+	pos    int   // producer's window position, -1 for pre-existing values
+	isLoad bool  // producer was a load (memory-stall attribution)
+}
+
+// clusterState tracks one processing cluster of the ring.
+type clusterState struct {
+	base    uint32 // line-aligned address of the loaded I-line
+	loaded  bool
+	readyAt int64 // instructions decoded and executable from this cycle
+	lastUse int64 // LRU for victim selection
+	busyTo  int64 // latest completion among instructions executed here
+}
+
+// Ring is one dataflow ring: a circular chain of processing clusters with
+// a control unit, an I-cache, and a data path into the shared hierarchy
+// (§5.1). It executes one thread.
+type Ring struct {
+	cfg Config
+	cpu *iss.CPU
+
+	icache   *cache.Cache
+	memlanes *cache.Cache // cluster-level memory lanes (§5.2)
+	l1d      *cache.Cache
+
+	clusters []clusterState
+	peFree   []int64 // per window position: when the PE can take a new instance
+
+	intSrc [isa.NumRegs]operandSrc
+	fpSrc  [isa.NumRegs]operandSrc
+
+	strides     []strideState     // per window position (StridePrefetch)
+	fpus        [][]int64         // per cluster shared-FPU pools (SharedFPUs)
+	specTargets map[uint32]uint32 // branch PC -> last taken-target line (SpeculativeDatapaths)
+
+	now           int64 // frontier: latest retire time
+	prevRetire    int64
+	redirectReady int64 // instructions after the last redirect start here
+	busFreeAt     int64 // shared 512-bit bus (line loads + RF transport)
+
+	stats Stats
+}
+
+// newRing wires a ring above the shared L2 (which may be nil).
+func newRing(cfg Config, m *mem.Memory, entry uint32, shared cache.Port) *Ring {
+	r := &Ring{
+		cfg:      cfg,
+		cpu:      iss.New(m, entry),
+		clusters: make([]clusterState, cfg.Clusters),
+		peFree:   make([]int64, cfg.Clusters*cfg.PEsPerCluster),
+	}
+	r.strides = make([]strideState, cfg.Clusters*cfg.PEsPerCluster)
+	if cfg.SharedFPUs > 0 {
+		r.fpus = make([][]int64, cfg.Clusters)
+		for i := range r.fpus {
+			r.fpus[i] = make([]int64, cfg.SharedFPUs)
+		}
+	}
+	r.specTargets = make(map[uint32]uint32)
+	r.icache = cfg.buildICache(shared)
+	r.l1d = cfg.buildL1D(shared)
+	r.memlanes = cache.New(cache.Config{
+		Name: "memlanes", Size: cfg.MemLaneLines * 64, LineSize: 64,
+		Assoc: cfg.MemLaneLines, Latency: 1,
+	}, r.l1d)
+	return r
+}
+
+// CPU exposes the architectural state (for examples and tests).
+func (r *Ring) CPU() *iss.CPU { return r.cpu }
+
+// Stats returns the accumulated statistics including cache snapshots.
+func (r *Ring) Stats() Stats {
+	s := r.stats
+	s.Cycles = r.now
+	s.L1I = r.icache.Stats
+	s.L1D = r.l1d.Stats
+	s.MemLanes = r.memlanes.Stats
+	return s
+}
+
+// activeLinger is how long (cycles) a cluster counts as active after its
+// last use, for the power model's active-cluster integral.
+const activeLinger = 256
+
+// integrateActivity advances the frontier to now, accumulating active
+// cluster-cycles for the power model.
+func (r *Ring) integrateActivity(now int64) {
+	delta := now - r.now
+	used := 0
+	for i := range r.clusters {
+		if r.clusters[i].loaded && now-r.clusters[i].lastUse < activeLinger {
+			used++
+		}
+	}
+	if used == 0 {
+		used = 1
+	}
+	r.stats.ClusterCycles += delta * int64(used)
+	r.now = now
+}
+
+// lineBase returns the cluster-aligned base of addr.
+func (r *Ring) lineBase(addr uint32) uint32 { return addr &^ (r.cfg.ClusterBytes() - 1) }
+
+// findCluster returns the index of the loaded cluster containing addr.
+func (r *Ring) findCluster(addr uint32) int {
+	base := r.lineBase(addr)
+	for i := range r.clusters {
+		if r.clusters[i].loaded && r.clusters[i].base == base {
+			return i
+		}
+	}
+	return -1
+}
+
+// windowPos maps a PC inside cluster ci to its global window position.
+func (r *Ring) windowPos(ci int, pc uint32) int {
+	return ci*r.cfg.PEsPerCluster + int(pc-r.clusters[ci].base)/4
+}
+
+// laneDelay returns the register-lane propagation delay from the producer
+// at position from to the consumer at position to: one cycle per lane
+// buffer crossed going forward (§6.1.2); a wrap backwards rides the
+// shared bus (§5.1.3).
+func (r *Ring) laneDelay(from, to int) int64 {
+	if from < 0 {
+		return 0
+	}
+	k := r.cfg.LaneBufferEvery
+	if from <= to {
+		return int64(to/k - from/k)
+	}
+	return int64(r.cfg.BusCycles)
+}
+
+// loadLine fetches the I-line at base into a free cluster, returning the
+// cluster index and the cycle its instructions become executable. avoid
+// is a cluster index that must not be evicted (-1 for none).
+func (r *Ring) loadLine(base uint32, earliest int64, avoid int) (int, int64, int64) {
+	// Victim selection: LRU among loaded clusters, preferring empty ones.
+	victim := -1
+	for i := range r.clusters {
+		if i == avoid {
+			continue
+		}
+		if !r.clusters[i].loaded {
+			victim = i
+			break
+		}
+		if victim == -1 || r.clusters[i].lastUse < r.clusters[victim].lastUse {
+			victim = i
+		}
+	}
+	cl := &r.clusters[victim]
+	// The victim must be free (all instructions complete) before reload.
+	start := earliest
+	if cl.busyTo > start {
+		start = cl.busyTo
+	}
+	// The I-cache access overlaps with other bus traffic; only the line
+	// transfer itself occupies the shared 512-bit bus (§5.1.3).
+	fetched := r.icache.Access(start, base, false)
+	transfer := fetched
+	if r.busFreeAt > transfer {
+		transfer = r.busFreeAt
+	}
+	done := transfer + int64(r.cfg.BusCycles)
+	r.busFreeAt = done
+	ready := done + int64(r.cfg.DecodeCycles)
+	*cl = clusterState{base: base, loaded: true, readyAt: ready, lastUse: earliest}
+	// Loading a new line invalidates previous instance timing for the
+	// cluster's PE slots.
+	for i := 0; i < r.cfg.PEsPerCluster; i++ {
+		r.peFree[victim*r.cfg.PEsPerCluster+i] = 0
+	}
+	r.stats.LinesFetched++
+	// Structural delay: waiting for a free cluster or for the shared bus.
+	busDelay := (start - earliest) + (transfer - fetched)
+	return victim, ready, busDelay
+}
+
+// ensure makes the cluster holding pc resident, returning its index. kind
+// records what a forced load should be attributed to.
+func (r *Ring) ensure(pc uint32, earliest int64) (int, int64) {
+	ci := r.findCluster(pc)
+	if ci >= 0 {
+		return ci, 0
+	}
+	ci, ready, busDelay := r.loadLine(r.lineBase(pc), earliest, -1)
+	if ready > r.redirectReady {
+		r.redirectReady = ready
+	}
+	return ci, busDelay
+}
+
+// Run executes until the program halts or the instruction cap is reached.
+// It returns an error if the CPU halted abnormally.
+func (r *Ring) Run() error {
+	cfg := r.cfg
+	r.ensure(r.cpu.PC, 0)
+	for !r.cpu.Halted && r.stats.Retired < cfg.MaxInstructions {
+		pc := r.cpu.PC
+		ci := r.findCluster(pc)
+		if ci < 0 {
+			// Sequential spill into an unloaded line (prefetch missed or
+			// first touch): control-unit load.
+			before := r.redirectReady
+			var busDelay int64
+			ci, busDelay = r.ensure(pc, r.now)
+			if d := r.redirectReady - before; d > 0 {
+				r.stats.StallCycles[StallControl] += d - busDelay
+				r.stats.StallCycles[StallOther] += busDelay
+			}
+		}
+		cl := &r.clusters[ci]
+		cl.lastUse = r.now
+		pos := r.windowPos(ci, pc)
+
+		ex := r.cpu.Step()
+		if r.cpu.Err != nil {
+			return fmt.Errorf("diag: %w", r.cpu.Err)
+		}
+		if r.cpu.Halted {
+			break // ebreak halts without retiring (matches the ISS count)
+		}
+		if ex.PC != pc {
+			// A precise interrupt redirected control between pc and
+			// ex.PC (§5.1.4): the PE at the interrupted instruction set
+			// the PC lane to the trap vector, disabling all later PEs;
+			// the next cluster loads the handler.
+			before := r.redirectReady
+			var busDelay int64
+			ci, busDelay = r.ensure(ex.PC, r.now)
+			if d := r.redirectReady - before; d > 0 {
+				r.stats.StallCycles[StallControl] += d - busDelay
+				r.stats.StallCycles[StallOther] += busDelay
+			}
+			if rr := r.now + int64(cfg.RedirectCycles); rr > r.redirectReady {
+				r.redirectReady = rr
+			}
+			r.stats.Redirects++
+			pc = ex.PC
+			cl = &r.clusters[ci]
+			cl.lastUse = r.now
+			pos = r.windowPos(ci, pc)
+		}
+		in := ex.Inst
+
+		if in.Op == isa.OpSIMTS {
+			if r.runSIMT(ex) {
+				continue
+			}
+			// Region rejected: simt.s itself retires below and the loop
+			// body executes sequentially (hardware fallback, §4.4.3).
+		}
+
+		// ---- dataflow readiness ----
+		depReady := cl.readyAt // instructions exist after decode
+		if r.redirectReady > depReady {
+			depReady = r.redirectReady
+		}
+		var memWait int64
+
+		operand := func(src operandSrc) {
+			t := src.ready + r.laneDelay(src.pos, pos)
+			if src.isLoad {
+				if t > memWait {
+					memWait = t
+				}
+				return
+			}
+			if t > depReady {
+				depReady = t
+			}
+		}
+		if in.Op.ReadsRs1() {
+			if in.Op.FPRs1() {
+				operand(r.fpSrc[in.Rs1])
+			} else {
+				operand(r.intSrc[in.Rs1])
+			}
+		}
+		if in.Op.ReadsRs2() {
+			if in.Op.FPRs2() {
+				operand(r.fpSrc[in.Rs2])
+			} else {
+				operand(r.intSrc[in.Rs2])
+			}
+		}
+		if in.Op.ReadsRs3() {
+			operand(r.fpSrc[in.Rs3])
+		}
+		// A PE's next instance cannot start before the previous one
+		// retires — inherent iteration serialization under reuse, part of
+		// dataflow readiness rather than a counted stall source (§7.3.2
+		// counts only stall sources, not serialization).
+		if free := r.peFree[pos]; free > depReady {
+			depReady = free
+		}
+
+		start := depReady
+		if memWait > start {
+			start = memWait
+		}
+		if s := r.fpuStart(ci, start, int64(in.Op.Class().Latency()), in.Op); s > start {
+			r.stats.StallCycles[StallOther] += s - start
+			start = s
+		}
+
+		// Stall attribution at the source (§7.3.2): waiting on a value
+		// produced by a load is a memory stall.
+		if start > depReady {
+			r.stats.StallCycles[StallMemory] += start - depReady
+		}
+
+		// ---- execute ----
+		lat := int64(in.Op.Class().Latency())
+		done := start + lat
+		if in.Op.IsLoad() {
+			done = r.memlanes.Access(start+lat, ex.MemAddr, false)
+			// Anything beyond a memory-lane hit is a memory stall at the
+			// source (cache miss, bank queue, bus).
+			if extra := done - (start + lat + 1); extra > 0 {
+				r.stats.StallCycles[StallMemory] += extra
+			}
+			r.observeLoad(pos, ex.MemAddr, done)
+			r.stats.Loads++
+			r.stats.MemOps++
+		}
+
+		// ---- retire (PC lane) ----
+		retire := done
+		if r.prevRetire > retire {
+			retire = r.prevRetire
+		}
+		r.prevRetire = retire
+		if retire > r.now {
+			r.integrateActivity(retire)
+		}
+		if in.Op.IsStore() {
+			// Stores commit at retirement; bandwidth is consumed but the
+			// program does not wait for the write to land.
+			r.memlanes.Access(retire, ex.MemAddr, true)
+			r.stats.Stores++
+			r.stats.MemOps++
+		}
+
+		// ---- scoreboard update ----
+		if in.Op.WritesRd() && in.Rd != isa.Zero || in.Op.WritesRd() && in.Op.FPRd() {
+			src := operandSrc{ready: done, pos: pos, isLoad: in.Op.IsLoad()}
+			if in.Op.FPRd() {
+				r.fpSrc[in.Rd] = src
+			} else {
+				r.intSrc[in.Rd] = src
+			}
+			r.stats.LaneWrites++
+		}
+		r.peFree[pos] = retire
+		if done > cl.busyTo {
+			cl.busyTo = done
+		}
+
+		// ---- component activity ----
+		r.stats.PEBusyCycles += lat
+		if in.Op.IsFP() {
+			r.stats.FPUBusyCycles += lat
+			r.stats.FPOps++
+		} else if !in.Op.IsMem() && !in.Op.IsControl() {
+			r.stats.ALUOps++
+		}
+		r.stats.Retired++
+
+		// ---- control flow ----
+		if ex.Taken {
+			r.stats.Redirects++
+			if in.Op.IsBranch() {
+				r.stats.TakenBranches++
+			}
+			backward := ex.NextPC <= pc
+			ti := r.findCluster(ex.NextPC)
+			if ti >= 0 {
+				// Datapath reuse: instructions already loaded and decoded;
+				// only the PC lane restarts (§4.3.2).
+				if backward {
+					r.stats.ReuseHits++
+				}
+				rr := done + int64(r.cfg.RedirectCycles)
+				if ti != ci {
+					// Partial register file rides the bus between
+					// non-adjacent clusters (§5.1.3).
+					if (ci+1)%cfg.Clusters != ti {
+						rr = done + int64(r.cfg.BusCycles) + 1
+					}
+				}
+				r.redirectReady = rr
+				r.stats.StallCycles[StallControl] += rr - done
+			} else {
+				if backward {
+					r.stats.ReuseMisses++
+				}
+				vi, ready, busDelay := r.loadLine(r.lineBase(ex.NextPC), done, ci)
+				if r.specTargetReady(pc, ex.NextPC) {
+					// The control unit had speculatively constructed the
+					// target datapath in a spare cluster: the redirect
+					// pays only the PC-lane restart (§7.3.2).
+					if fast := done + int64(cfg.RedirectCycles); fast < ready {
+						ready = fast
+						r.clusters[vi].readyAt = fast
+						busDelay = 0
+						r.stats.SpecDatapathHits++
+					}
+				}
+				r.redirectReady = ready
+				r.stats.StallCycles[StallControl] += (ready - done) - busDelay
+				r.stats.StallCycles[StallOther] += busDelay
+			}
+		}
+		// Untaken branches cost nothing: subsequent PEs were already
+		// enabled and executing (§5.1.4).
+
+		// Sequential prefetch: entering the last quarter of a cluster
+		// preloads the next line so straight-line code never waits (§5.1.1
+		// "loading a single instruction cache line ... while the current
+		// clusters execute").
+		if !ex.Taken {
+			next := cl.base + cfg.ClusterBytes()
+			if int(pc-cl.base)/4 >= cfg.PEsPerCluster/2 && r.findCluster(next) < 0 {
+				r.loadLine(next, r.now, ci) //nolint: background prefetch
+			}
+		}
+	}
+	if r.cpu.Err != nil {
+		// An abnormal halt inside a SIMT region surfaces here rather than
+		// at the per-step check.
+		return fmt.Errorf("diag: %w", r.cpu.Err)
+	}
+	if r.stats.Retired >= cfg.MaxInstructions && !r.cpu.Halted {
+		return fmt.Errorf("diag: instruction cap %d reached before halt", cfg.MaxInstructions)
+	}
+	return nil
+}

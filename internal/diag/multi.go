@@ -1,0 +1,117 @@
+package diag
+
+import (
+	"fmt"
+
+	"diag/internal/cache"
+	"diag/internal/isa"
+	"diag/internal/mem"
+)
+
+// Machine is a complete DiAG processor: one or more dataflow rings above
+// a shared L2 and DRAM (§5.1). With Rings == 1 it runs a single thread;
+// with Rings > 1 it exploits spatial parallelism, one thread per ring
+// (§4.4: "multiple rows of processing clusters", used by the paper's
+// 16-by-2 multi-thread configuration).
+type Machine struct {
+	cfg  Config
+	mem  *mem.Memory
+	l2s  []*cache.Cache // one private timing view per ring
+	dram *cache.DRAM
+
+	rings []*Ring
+	stats Stats
+}
+
+// NewMachine builds a machine for the image. Multi-ring machines place
+// the thread id in register tp (x4) and the thread count in gp (x3) of
+// each ring's CPU before execution — the convention all parallel
+// workloads in this repository follow.
+func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := mem.New()
+	entry, err := img.Load(m)
+	if err != nil {
+		return nil, err
+	}
+	mach := &Machine{cfg: cfg, mem: m, dram: &cache.DRAM{Latency: cfg.DRAMLatency}}
+	for i := 0; i < cfg.Rings; i++ {
+		// Rings run on independent timelines, so each gets a private
+		// timing view of its L2 share: the shared L2's capacity is
+		// partitioned across rings (its contents are functionally
+		// irrelevant — data always lives in mem.Memory).
+		var shared cache.Port = mach.dram
+		ringCfg := cfg
+		if cfg.Rings > 1 && cfg.L2Size > 0 {
+			ringCfg.L2Size = cache.RoundSize(maxInt(cfg.L2Size/cfg.Rings, 64<<10), 64, 8)
+		}
+		if l2 := ringCfg.buildL2(mach.dram); l2 != nil {
+			mach.l2s = append(mach.l2s, l2)
+			shared = l2
+		}
+		r := newRing(cfg, m, entry, shared)
+		r.cpu.X[isa.TP] = uint32(i)
+		r.cpu.X[isa.GP] = uint32(cfg.Rings)
+		mach.rings = append(mach.rings, r)
+	}
+	return mach, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Mem returns the machine's memory (inspectable after Run).
+func (m *Machine) Mem() *mem.Memory { return m.mem }
+
+// Ring returns ring i (for single-thread runs, Ring(0) is the whole
+// machine).
+func (m *Machine) Ring(i int) *Ring { return m.rings[i] }
+
+// Run executes every ring to completion and aggregates statistics.
+//
+// Rings execute functionally one after another against the shared
+// memory; this is sound because parallel workloads in this repository
+// are data-parallel with disjoint write sets (the usual OpenMP-loop
+// shape of the Rodinia kernels the paper evaluates). Timing is computed
+// independently per ring over the shared L2, and the machine's cycle
+// count is the slowest ring.
+func (m *Machine) Run() error {
+	m.stats = Stats{}
+	for i, r := range m.rings {
+		if err := r.Run(); err != nil {
+			return fmt.Errorf("ring %d: %w", i, err)
+		}
+		m.stats.Merge(r.Stats())
+	}
+	for _, l2 := range m.l2s {
+		mergeCache(&m.stats.L2, l2.Stats)
+	}
+	m.stats.DRAMAccesses = m.dram.Accesses
+	return nil
+}
+
+// Stats returns aggregated statistics; valid after Run.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// RunImage is the one-call convenience: build a machine, run it, return
+// the stats and final memory.
+func RunImage(cfg Config, img *mem.Image) (Stats, *mem.Memory, error) {
+	mach, err := NewMachine(cfg, img)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	if err := mach.Run(); err != nil {
+		return Stats{}, nil, err
+	}
+	return mach.Stats(), mach.Mem(), nil
+}

@@ -1,0 +1,284 @@
+package diag
+
+import (
+	"diag/internal/isa"
+	"diag/internal/iss"
+)
+
+// simtRegion describes a statically validated pipelined loop (§4.4, §5.4).
+type simtRegion struct {
+	sPC, ePC uint32   // addresses of simt.s and simt.e
+	interval int64    // thread injection pacing from simt.s
+	lines    []uint32 // I-line bases spanned, in order: the pipeline stages
+}
+
+// instRec is one executed instruction inside a pipelined iteration.
+type instRec struct {
+	stage   int
+	lat     int64
+	isLoad  bool
+	isStore bool
+	addr    uint32
+	op      isa.Op
+}
+
+// scanRegion statically validates the region opened by the simt.s at sPC.
+// nil means the hardware falls back to sequential loop execution
+// (§4.4.3): the region has a backward branch, an indirect jump, a system
+// instruction, a nested simt.s, or does not fit the ring's PEs.
+func (r *Ring) scanRegion(sPC uint32, interval int64) *simtRegion {
+	capacity := r.cfg.Clusters * r.cfg.PEsPerCluster
+	maxBytes := uint32(capacity * 4)
+	var ePC uint32
+	for pc := sPC + 4; pc-sPC < maxBytes; pc += 4 {
+		in, err := isa.Decode(r.cpu.Mem.LoadWord(pc))
+		if err != nil {
+			return nil
+		}
+		switch {
+		case in.Op == isa.OpSIMTE:
+			if pc+uint32(in.Imm) != sPC {
+				return nil // closes some other region
+			}
+			ePC = pc
+		case in.Op == isa.OpSIMTS || in.Op == isa.OpJALR ||
+			in.Op == isa.OpEBREAK || in.Op == isa.OpECALL:
+			return nil
+		case in.Op.IsControl() && in.Imm <= 0:
+			return nil // backward branch/jump cannot be pipelined
+		case in.Op.IsControl() && pc+uint32(in.Imm) > ePCBound(sPC, maxBytes):
+			return nil // jumps out of the region
+		}
+		if ePC != 0 {
+			break
+		}
+	}
+	if ePC == 0 {
+		return nil
+	}
+	// Forward branches must stay inside [sPC, ePC].
+	for pc := sPC + 4; pc < ePC; pc += 4 {
+		in, _ := isa.Decode(r.cpu.Mem.LoadWord(pc))
+		if in.Op.IsControl() && pc+uint32(in.Imm) > ePC {
+			return nil
+		}
+	}
+	reg := &simtRegion{sPC: sPC, ePC: ePC, interval: max64(1, interval)}
+	for base := r.lineBase(sPC); base <= r.lineBase(ePC); base += r.cfg.ClusterBytes() {
+		reg.lines = append(reg.lines, base)
+	}
+	if len(reg.lines) > r.cfg.Clusters {
+		return nil
+	}
+	return reg
+}
+
+func ePCBound(sPC, maxBytes uint32) uint32 { return sPC + maxBytes }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// stageOf maps an instruction address to its pipeline stage index.
+func (reg *simtRegion) stageOf(r *Ring, pc uint32) int {
+	base := r.lineBase(pc)
+	for i, b := range reg.lines {
+		if b == base {
+			return i
+		}
+	}
+	return 0
+}
+
+// runSIMT attempts to execute the pipelined region whose simt.s was just
+// retired functionally by the caller (ex). It returns false if the region
+// is rejected, in which case the caller continues sequentially.
+//
+// Timing model (§4.4.1): pipeline registers sit between clusters, so the
+// region's I-lines are the pipeline stages. Thread t enters stage s when
+// thread t-1 has left it and t itself has left stage s-1; a new thread is
+// injected at most every `interval` cycles. A stage's occupancy is the
+// longest instruction it executes for that thread, including data-cache
+// time, so a missing load stalls the whole pipeline — exactly the paper's
+// observed bottleneck (§5.2, §7.2.1).
+func (r *Ring) runSIMT(ex iss.Exec) bool {
+	reg := r.scanRegion(ex.PC, int64(ex.Inst.Imm))
+	if reg == nil {
+		r.stats.SIMTRejects++
+		return false
+	}
+	r.stats.SIMTRegions++
+
+	// Load every stage line into the window (serialized on the bus).
+	start := r.now
+	for _, base := range reg.lines {
+		if r.findCluster(base) < 0 {
+			_, ready, _ := r.loadLine(base, start, r.findCluster(ex.PC))
+			if ready > start {
+				start = ready
+			}
+		}
+	}
+
+	// Spatial replication (§4.4.1): when the region spans fewer lines
+	// than the ring has clusters, the pipeline is replicated across the
+	// spare clusters and threads are dealt round-robin. Replica copies of
+	// the region's lines ride the bus once at startup.
+	nStages := len(reg.lines)
+	replicas := r.cfg.Clusters / nStages
+	if replicas < 1 {
+		replicas = 1
+	}
+	for rep := 1; rep < replicas; rep++ {
+		for range reg.lines {
+			fetched := r.icache.Access(start, reg.lines[0], false)
+			if fetched > r.busFreeAt {
+				r.busFreeAt = fetched
+			}
+			r.busFreeAt += int64(r.cfg.BusCycles)
+		}
+	}
+	if r.busFreeAt > start {
+		start = r.busFreeAt
+	}
+
+	prevExit := make([][]int64, replicas) // per replica: previous thread's exit per stage
+	for i := range prevExit {
+		prevExit[i] = make([]int64, nStages)
+	}
+	var recs []instRec // reused per iteration
+	finish := start
+	thread := int64(0)
+
+	// Iterate: functionally run iterations with the ISS (its simt.e
+	// semantics advance rc and loop), computing each thread's pipeline
+	// row as soon as its records are complete.
+	for iter := uint64(0); ; iter++ {
+		if iter > r.cfg.MaxInstructions {
+			break // safety net; cannot happen for well-formed loops
+		}
+		recs = recs[:0]
+		done := false
+		looped := false
+		for {
+			e := r.cpu.Step()
+			if r.cpu.Halted {
+				done = true
+				break
+			}
+			in := e.Inst
+			recs = append(recs, instRec{
+				stage:   reg.stageOf(r, e.PC),
+				lat:     int64(in.Op.Class().Latency()),
+				isLoad:  in.Op.IsLoad(),
+				isStore: in.Op.IsStore(),
+				addr:    e.MemAddr,
+				op:      in.Op,
+			})
+			if e.PC == reg.ePC {
+				looped = e.Taken
+				break
+			}
+		}
+
+		// Pipeline row for this thread: the spawner injects it into the
+		// replica whose first stage frees up soonest (greedy dispatch).
+		best := 0
+		for i := 1; i < replicas; i++ {
+			if prevExit[i][0] < prevExit[best][0] {
+				best = i
+			}
+		}
+		rep := prevExit[best]
+		entry := start + thread*reg.interval
+		if rep[0] > entry {
+			entry = rep[0]
+		}
+		for s := 0; s < nStages; s++ {
+			if s > 0 {
+				// Crossing the pipeline register between clusters.
+				e := rep[s]
+				if entry+1 > e {
+					e = entry + 1
+				}
+				entry = e
+			}
+			occ := int64(1)
+			for _, rec := range recs {
+				if rec.stage != s {
+					continue
+				}
+				t := rec.lat
+				switch {
+				case rec.isLoad:
+					t = r.memlanes.Access(entry+1, rec.addr, false) - entry
+				case rec.isStore:
+					r.memlanes.Access(entry+rec.lat, rec.addr, true)
+				}
+				if t > occ {
+					occ = t
+				}
+				// Component activity & retire accounting.
+				r.stats.PEBusyCycles += rec.lat
+				if rec.op.IsFP() {
+					r.stats.FPUBusyCycles += rec.lat
+					r.stats.FPOps++
+				} else if !rec.op.IsMem() && !rec.op.IsControl() {
+					r.stats.ALUOps++
+				}
+				if rec.op.IsLoad() {
+					r.stats.Loads++
+					r.stats.MemOps++
+				}
+				if rec.op.IsStore() {
+					r.stats.Stores++
+					r.stats.MemOps++
+				}
+				if rec.op.WritesRd() {
+					r.stats.LaneWrites++
+				}
+				r.stats.Retired++
+			}
+			exit := entry + occ
+			rep[s] = exit
+			entry = exit
+		}
+		if entry > finish {
+			finish = entry
+		}
+		thread++
+		r.stats.SIMTThreads++
+		r.stats.SIMTPipelined++
+		if done || !looped {
+			break
+		}
+	}
+
+	// All pipeline stages (and replicas) are live for the region's whole
+	// duration.
+	live := nStages * replicas
+	if live > r.cfg.Clusters {
+		live = r.cfg.Clusters
+	}
+	if finish > r.now {
+		r.stats.ClusterCycles += (finish - r.now) * int64(live)
+	}
+
+	// The pipeline drains: architectural time advances to the last exit,
+	// and every register lane is republished from the final thread
+	// (simt.e propagates only the last thread's lanes onward, §5.4).
+	r.now = finish
+	r.prevRetire = finish
+	r.redirectReady = finish
+	for i := range r.intSrc {
+		r.intSrc[i] = operandSrc{ready: finish, pos: -1}
+		r.fpSrc[i] = operandSrc{ready: finish, pos: -1}
+	}
+	for i := range r.peFree {
+		r.peFree[i] = 0
+	}
+	return true
+}

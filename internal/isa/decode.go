@@ -1,0 +1,320 @@
+package isa
+
+import "fmt"
+
+// immI extracts the sign-extended I-format immediate.
+func immI(w uint32) int32 { return int32(w) >> 20 }
+
+// immS extracts the sign-extended S-format immediate.
+func immS(w uint32) int32 {
+	return int32(w)>>25<<5 | int32(w>>7&0x1F)
+}
+
+// immB extracts the sign-extended B-format immediate.
+func immB(w uint32) int32 {
+	imm := int32(w)>>31<<12 | // imm[12]
+		int32(w>>7&1)<<11 | // imm[11]
+		int32(w>>25&0x3F)<<5 | // imm[10:5]
+		int32(w>>8&0xF)<<1 // imm[4:1]
+	return imm
+}
+
+// immU extracts the U-format immediate (already shifted left 12).
+func immU(w uint32) int32 { return int32(w & 0xFFFFF000) }
+
+// immJ extracts the sign-extended J-format immediate.
+func immJ(w uint32) int32 {
+	imm := int32(w)>>31<<20 | // imm[20]
+		int32(w>>12&0xFF)<<12 | // imm[19:12]
+		int32(w>>20&1)<<11 | // imm[11]
+		int32(w>>21&0x3FF)<<1 // imm[10:1]
+	return imm
+}
+
+// Decode unpacks a 32-bit instruction word. It returns an error for any
+// word that is not a valid RV32IMF or DiAG-extension instruction.
+func Decode(w uint32) (Inst, error) {
+	opcode := w & 0x7F
+	rd := Reg(w >> 7 & 0x1F)
+	funct3 := w >> 12 & 0x7
+	rs1 := Reg(w >> 15 & 0x1F)
+	rs2 := Reg(w >> 20 & 0x1F)
+	funct7 := w >> 25 & 0x7F
+
+	bad := func() (Inst, error) {
+		return Inst{}, fmt.Errorf("isa: cannot decode word 0x%08x (opcode 0x%02x funct3 %d funct7 0x%02x)", w, opcode, funct3, funct7)
+	}
+
+	switch opcode {
+	case opcLUI:
+		return Inst{Op: OpLUI, Rd: rd, Imm: immU(w)}, nil
+	case opcAUIPC:
+		return Inst{Op: OpAUIPC, Rd: rd, Imm: immU(w)}, nil
+	case opcJAL:
+		return Inst{Op: OpJAL, Rd: rd, Imm: immJ(w)}, nil
+	case opcJALR:
+		if funct3 != 0 {
+			return bad()
+		}
+		return Inst{Op: OpJALR, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+
+	case opcBranch:
+		var op Op
+		switch funct3 {
+		case 0:
+			op = OpBEQ
+		case 1:
+			op = OpBNE
+		case 4:
+			op = OpBLT
+		case 5:
+			op = OpBGE
+		case 6:
+			op = OpBLTU
+		case 7:
+			op = OpBGEU
+		default:
+			return bad()
+		}
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immB(w)}, nil
+
+	case opcLoad:
+		var op Op
+		switch funct3 {
+		case 0:
+			op = OpLB
+		case 1:
+			op = OpLH
+		case 2:
+			op = OpLW
+		case 4:
+			op = OpLBU
+		case 5:
+			op = OpLHU
+		default:
+			return bad()
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+
+	case opcStore:
+		var op Op
+		switch funct3 {
+		case 0:
+			op = OpSB
+		case 1:
+			op = OpSH
+		case 2:
+			op = OpSW
+		default:
+			return bad()
+		}
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immS(w)}, nil
+
+	case opcOpImm:
+		var op Op
+		imm := immI(w)
+		switch funct3 {
+		case 0:
+			op = OpADDI
+		case 2:
+			op = OpSLTI
+		case 3:
+			op = OpSLTIU
+		case 4:
+			op = OpXORI
+		case 6:
+			op = OpORI
+		case 7:
+			op = OpANDI
+		case 1:
+			if funct7 != 0 {
+				return bad()
+			}
+			op, imm = OpSLLI, int32(rs2)
+		case 5:
+			switch funct7 {
+			case 0x00:
+				op = OpSRLI
+			case 0x20:
+				op = OpSRAI
+			default:
+				return bad()
+			}
+			imm = int32(rs2)
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm}, nil
+
+	case opcOp:
+		key := funct7<<3 | funct3
+		var op Op
+		switch key {
+		case 0x00<<3 | 0:
+			op = OpADD
+		case 0x20<<3 | 0:
+			op = OpSUB
+		case 0x00<<3 | 1:
+			op = OpSLL
+		case 0x00<<3 | 2:
+			op = OpSLT
+		case 0x00<<3 | 3:
+			op = OpSLTU
+		case 0x00<<3 | 4:
+			op = OpXOR
+		case 0x00<<3 | 5:
+			op = OpSRL
+		case 0x20<<3 | 5:
+			op = OpSRA
+		case 0x00<<3 | 6:
+			op = OpOR
+		case 0x00<<3 | 7:
+			op = OpAND
+		case 0x01<<3 | 0:
+			op = OpMUL
+		case 0x01<<3 | 1:
+			op = OpMULH
+		case 0x01<<3 | 2:
+			op = OpMULHSU
+		case 0x01<<3 | 3:
+			op = OpMULHU
+		case 0x01<<3 | 4:
+			op = OpDIV
+		case 0x01<<3 | 5:
+			op = OpDIVU
+		case 0x01<<3 | 6:
+			op = OpREM
+		case 0x01<<3 | 7:
+			op = OpREMU
+		default:
+			return bad()
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+
+	case opcMisc:
+		return Inst{Op: OpFENCE}, nil
+
+	case opcSystem:
+		switch w {
+		case 0x00000073:
+			return Inst{Op: OpECALL}, nil
+		case 0x00100073:
+			return Inst{Op: OpEBREAK}, nil
+		}
+		return bad()
+
+	case opcLoadFP:
+		if funct3 != 2 {
+			return bad()
+		}
+		return Inst{Op: OpFLW, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+	case opcStoreFP:
+		if funct3 != 2 {
+			return bad()
+		}
+		return Inst{Op: OpFSW, Rs1: rs1, Rs2: rs2, Imm: immS(w)}, nil
+
+	case opcFMAdd, opcFMSub, opcFNMSub, opcFNMAdd:
+		if w>>25&0x3 != 0 { // fmt must be S (00)
+			return bad()
+		}
+		var op Op
+		switch opcode {
+		case opcFMAdd:
+			op = OpFMADDS
+		case opcFMSub:
+			op = OpFMSUBS
+		case opcFNMSub:
+			op = OpFNMSUBS
+		case opcFNMAdd:
+			op = OpFNMADDS
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Rs3: Reg(w >> 27 & 0x1F)}, nil
+
+	case opcOpFP:
+		switch funct7 {
+		case 0x00:
+			return Inst{Op: OpFADDS, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+		case 0x04:
+			return Inst{Op: OpFSUBS, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+		case 0x08:
+			return Inst{Op: OpFMULS, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+		case 0x0C:
+			return Inst{Op: OpFDIVS, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+		case 0x2C:
+			if rs2 != 0 {
+				return bad()
+			}
+			return Inst{Op: OpFSQRTS, Rd: rd, Rs1: rs1}, nil
+		case 0x10:
+			switch funct3 {
+			case 0:
+				return Inst{Op: OpFSGNJS, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			case 1:
+				return Inst{Op: OpFSGNJNS, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			case 2:
+				return Inst{Op: OpFSGNJXS, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			}
+			return bad()
+		case 0x14:
+			switch funct3 {
+			case 0:
+				return Inst{Op: OpFMINS, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			case 1:
+				return Inst{Op: OpFMAXS, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			}
+			return bad()
+		case 0x50:
+			switch funct3 {
+			case 0:
+				return Inst{Op: OpFLES, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			case 1:
+				return Inst{Op: OpFLTS, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			case 2:
+				return Inst{Op: OpFEQS, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			}
+			return bad()
+		case 0x60:
+			switch rs2 {
+			case 0:
+				return Inst{Op: OpFCVTWS, Rd: rd, Rs1: rs1}, nil
+			case 1:
+				return Inst{Op: OpFCVTWUS, Rd: rd, Rs1: rs1}, nil
+			}
+			return bad()
+		case 0x68:
+			switch rs2 {
+			case 0:
+				return Inst{Op: OpFCVTSW, Rd: rd, Rs1: rs1}, nil
+			case 1:
+				return Inst{Op: OpFCVTSWU, Rd: rd, Rs1: rs1}, nil
+			}
+			return bad()
+		case 0x70:
+			if rs2 != 0 {
+				return bad()
+			}
+			switch funct3 {
+			case 0:
+				return Inst{Op: OpFMVXW, Rd: rd, Rs1: rs1}, nil
+			case 1:
+				return Inst{Op: OpFCLASSS, Rd: rd, Rs1: rs1}, nil
+			}
+			return bad()
+		case 0x78:
+			if rs2 != 0 || funct3 != 0 {
+				return bad()
+			}
+			return Inst{Op: OpFMVWX, Rd: rd, Rs1: rs1}, nil
+		}
+		return bad()
+
+	case opcCustom0:
+		switch funct3 {
+		case 0:
+			return Inst{Op: OpSIMTS, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: int32(funct7)}, nil
+		case 1:
+			return Inst{Op: OpSIMTE, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+		}
+		return bad()
+	}
+	return bad()
+}

@@ -1,0 +1,125 @@
+package isa
+
+import "fmt"
+
+// fiRs2Code returns the rs2-field function code for FormatFI instructions.
+func fiRs2Code(op Op) uint32 {
+	switch op {
+	case OpFCVTWUS, OpFCVTSWU:
+		return 1
+	}
+	return 0
+}
+
+// usesRoundingMode reports whether the funct3 field of op is an FP
+// rounding mode (rm) rather than a function selector. The encoder emits
+// rm=0 (round-to-nearest-even) and the decoder accepts any rm value.
+func usesRoundingMode(op Op) bool {
+	switch op {
+	case OpFADDS, OpFSUBS, OpFMULS, OpFDIVS, OpFSQRTS,
+		OpFCVTWS, OpFCVTWUS, OpFCVTSW, OpFCVTSWU,
+		OpFMADDS, OpFMSUBS, OpFNMSUBS, OpFNMADDS:
+		return true
+	}
+	return false
+}
+
+// Encode packs in into its 32-bit binary representation.
+func Encode(in Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: cannot encode invalid op %d", in.Op)
+	}
+	info := &opTable[in.Op]
+	rd, rs1, rs2 := uint32(in.Rd), uint32(in.Rs1), uint32(in.Rs2)
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs || in.Rs3 >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %v", in)
+	}
+	word := info.opcode
+
+	switch info.format {
+	case FormatR:
+		f7 := info.funct7
+		if in.Op == OpSIMTS {
+			// simt.s packs the spawn interval in the funct7 field.
+			if in.Imm < 0 || in.Imm > 127 {
+				return 0, fmt.Errorf("isa: simt.s interval %d out of range [0,127]", in.Imm)
+			}
+			f7 = uint32(in.Imm)
+		}
+		word |= rd<<7 | info.funct3<<12 | rs1<<15 | rs2<<20 | f7<<25
+	case FormatR4:
+		word |= rd<<7 | rs1<<15 | rs2<<20 | uint32(in.Rs3)<<27
+		// fmt field (bits 25-26) = 00 for single precision; rm = 0.
+	case FormatFI:
+		word |= rd<<7 | info.funct3<<12 | rs1<<15 | fiRs2Code(in.Op)<<20 | info.funct7<<25
+		if usesRoundingMode(in.Op) {
+			word &^= 0x7 << 12 // rm = RNE
+		}
+	case FormatI:
+		switch in.Op {
+		case OpECALL:
+			return 0x00000073, nil
+		case OpEBREAK:
+			return 0x00100073, nil
+		case OpFENCE:
+			return 0x0000000F, nil
+		}
+		imm := in.Imm
+		switch in.Op {
+		case OpSLLI, OpSRLI, OpSRAI:
+			if imm < 0 || imm > 31 {
+				return 0, fmt.Errorf("isa: shift amount %d out of range in %v", imm, in)
+			}
+			imm |= int32(info.funct7 << 5)
+		default:
+			if imm < -2048 || imm > 2047 {
+				return 0, fmt.Errorf("isa: I-immediate %d out of range in %v", imm, in)
+			}
+		}
+		word |= rd<<7 | info.funct3<<12 | rs1<<15 | (uint32(imm)&0xFFF)<<20
+	case FormatS:
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return 0, fmt.Errorf("isa: S-immediate %d out of range in %v", in.Imm, in)
+		}
+		imm := uint32(in.Imm)
+		word |= (imm&0x1F)<<7 | info.funct3<<12 | rs1<<15 | rs2<<20 | (imm>>5&0x7F)<<25
+	case FormatB:
+		if in.Imm < -4096 || in.Imm > 4094 || in.Imm&1 != 0 {
+			return 0, fmt.Errorf("isa: B-immediate %d out of range or misaligned in %v", in.Imm, in)
+		}
+		imm := uint32(in.Imm)
+		word |= (imm >> 11 & 1) << 7
+		word |= (imm >> 1 & 0xF) << 8
+		word |= info.funct3 << 12
+		word |= rs1 << 15
+		word |= rs2 << 20
+		word |= (imm >> 5 & 0x3F) << 25
+		word |= (imm >> 12 & 1) << 31
+	case FormatU:
+		if in.Imm&0xFFF != 0 {
+			return 0, fmt.Errorf("isa: U-immediate 0x%x has low bits set in %v", in.Imm, in)
+		}
+		word |= rd<<7 | uint32(in.Imm)&0xFFFFF000
+	case FormatJ:
+		if in.Imm < -(1<<20) || in.Imm > (1<<20)-2 || in.Imm&1 != 0 {
+			return 0, fmt.Errorf("isa: J-immediate %d out of range or misaligned in %v", in.Imm, in)
+		}
+		imm := uint32(in.Imm)
+		word |= rd << 7
+		word |= (imm >> 12 & 0xFF) << 12
+		word |= (imm >> 11 & 1) << 20
+		word |= (imm >> 1 & 0x3FF) << 21
+		word |= (imm >> 20 & 1) << 31
+	}
+	return word, nil
+}
+
+// MustEncode is Encode but panics on error; for use with known-good
+// instruction literals in tests and workload builders.
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

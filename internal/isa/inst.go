@@ -1,0 +1,72 @@
+package isa
+
+import "fmt"
+
+// Inst is one decoded (or to-be-encoded) instruction.
+//
+// Imm holds the sign-extended immediate for I/S/B/U/J formats (for U format
+// it holds the full shifted value, i.e. imm<<12). For the DiAG extension
+// simt.s, Imm holds the spawn interval (cycles between injected threads);
+// for simt.e it holds the negative byte offset back to the matching simt.s.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Rs3 Reg // FMA group only
+	Imm int32
+}
+
+// String renders the instruction in assembly syntax.
+func (in Inst) String() string {
+	op := in.Op
+	switch op.Format() {
+	case FormatR:
+		if op == OpSIMTS {
+			return fmt.Sprintf("simt.s %s, %s, %s, %d", in.Rd, in.Rs1, in.Rs2, in.Imm)
+		}
+		if op.IsFP() {
+			return fmt.Sprintf("%s %s, %s, %s", op, fpOrInt(op.FPRd(), in.Rd), fpOrInt(op.FPRs1(), in.Rs1), fpOrInt(op.FPRs2(), in.Rs2))
+		}
+		return fmt.Sprintf("%s %s, %s, %s", op, in.Rd, in.Rs1, in.Rs2)
+	case FormatR4:
+		return fmt.Sprintf("%s %s, %s, %s, %s", op, in.Rd.FName(), in.Rs1.FName(), in.Rs2.FName(), in.Rs3.FName())
+	case FormatFI:
+		return fmt.Sprintf("%s %s, %s", op, fpOrInt(op.FPRd(), in.Rd), fpOrInt(op.FPRs1(), in.Rs1))
+	case FormatI:
+		switch {
+		case op == OpSIMTE:
+			return fmt.Sprintf("simt.e %s, %s, %d", in.Rd, in.Rs1, in.Imm)
+		case op == OpECALL || op == OpEBREAK || op == OpFENCE:
+			return op.String()
+		case op.IsLoad():
+			return fmt.Sprintf("%s %s, %d(%s)", op, fpOrInt(op.FPRd(), in.Rd), in.Imm, in.Rs1)
+		case op == OpJALR:
+			return fmt.Sprintf("jalr %s, %d(%s)", in.Rd, in.Imm, in.Rs1)
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", op, in.Rd, in.Rs1, in.Imm)
+		}
+	case FormatS:
+		return fmt.Sprintf("%s %s, %d(%s)", op, fpOrInt(op.FPRs2(), in.Rs2), in.Imm, in.Rs1)
+	case FormatB:
+		return fmt.Sprintf("%s %s, %s, %d", op, in.Rs1, in.Rs2, in.Imm)
+	case FormatU:
+		return fmt.Sprintf("%s %s, 0x%x", op, in.Rd, uint32(in.Imm)>>12)
+	case FormatJ:
+		return fmt.Sprintf("%s %s, %d", op, in.Rd, in.Imm)
+	}
+	return op.String()
+}
+
+func fpOrInt(fp bool, r Reg) string {
+	if fp {
+		return r.FName()
+	}
+	return r.String()
+}
+
+// WordBytes is the size of one instruction in bytes. The library models
+// the fixed-width 32-bit encoding only (no compressed extension); DiAG
+// assigns one 4-byte instruction per PE (§4.3: a 64-byte I-line fills a
+// 16-PE cluster).
+const WordBytes = 4

@@ -1,0 +1,344 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		name string
+	}{
+		{Zero, "zero"}, {RA, "ra"}, {SP, "sp"}, {A0, "a0"}, {T6, "t6"}, {S11, "s11"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.name {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.name)
+		}
+		r, ok := RegByName(c.name)
+		if !ok || r != c.r {
+			t.Errorf("RegByName(%q) = %v,%v, want %v", c.name, r, ok, c.r)
+		}
+	}
+}
+
+func TestRegByNameNumeric(t *testing.T) {
+	for i := 0; i < NumRegs; i++ {
+		r, ok := RegByName("x" + itoa(i))
+		if !ok || int(r) != i {
+			t.Fatalf("RegByName(x%d) = %v,%v", i, r, ok)
+		}
+		f, ok := FRegByName("f" + itoa(i))
+		if !ok || int(f) != i {
+			t.Fatalf("FRegByName(f%d) = %v,%v", i, f, ok)
+		}
+	}
+	if _, ok := RegByName("x32"); ok {
+		t.Error("RegByName(x32) should fail")
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("RegByName(bogus) should fail")
+	}
+	if _, ok := FRegByName("f32"); ok {
+		t.Error("FRegByName(f32) should fail")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+func TestFPAlias(t *testing.T) {
+	if r, ok := RegByName("fp"); !ok || r != S0 {
+		t.Errorf("fp should alias s0, got %v,%v", r, ok)
+	}
+}
+
+// TestKnownEncodings checks instruction words against values assembled by
+// the standard RISC-V toolchain.
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want uint32
+	}{
+		{Inst{Op: OpADDI, Rd: 1, Rs1: 2, Imm: 100}, 0x06410093},
+		{Inst{Op: OpADD, Rd: 3, Rs1: 4, Rs2: 5}, 0x005201B3},
+		{Inst{Op: OpSUB, Rd: 3, Rs1: 4, Rs2: 5}, 0x405201B3},
+		{Inst{Op: OpLUI, Rd: 10, Imm: 0x12345 << 12}, 0x12345537},
+		{Inst{Op: OpJAL, Rd: 1, Imm: 2048}, 0x001000EF},
+		{Inst{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: -4}, 0xFE208EE3},
+		{Inst{Op: OpLW, Rd: 6, Rs1: 7, Imm: -8}, 0xFF83A303},
+		{Inst{Op: OpSW, Rs1: 7, Rs2: 6, Imm: 12}, 0x0063A623},
+		{Inst{Op: OpSLLI, Rd: 1, Rs1: 1, Imm: 5}, 0x00509093},
+		{Inst{Op: OpSRAI, Rd: 1, Rs1: 1, Imm: 5}, 0x4050D093},
+		{Inst{Op: OpMUL, Rd: 2, Rs1: 3, Rs2: 4}, 0x02418133},
+		{Inst{Op: OpECALL}, 0x00000073},
+		{Inst{Op: OpEBREAK}, 0x00100073},
+		{Inst{Op: OpFADDS, Rd: 1, Rs1: 2, Rs2: 3}, 0x003100D3},
+		{Inst{Op: OpFLW, Rd: 1, Rs1: 2, Imm: 4}, 0x00412087},
+		{Inst{Op: OpFSW, Rs1: 2, Rs2: 1, Imm: 4}, 0x00112227},
+		{Inst{Op: OpFMADDS, Rd: 1, Rs1: 2, Rs2: 3, Rs3: 4}, 0x203100C3},
+		{Inst{Op: OpFCVTSW, Rd: 1, Rs1: 2}, 0xD00100D3},
+		{Inst{Op: OpFCVTWS, Rd: 1, Rs1: 2}, 0xC00100D3},
+		{Inst{Op: OpFMVXW, Rd: 1, Rs1: 2}, 0xE00100D3},
+		{Inst{Op: OpFMVWX, Rd: 1, Rs1: 2}, 0xF00100D3},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.in)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Encode(%v) = 0x%08x, want 0x%08x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	cases := []Inst{
+		{Op: OpInvalid},
+		{Op: OpADDI, Rd: 1, Rs1: 1, Imm: 4096},         // I-imm too large
+		{Op: OpADDI, Rd: 1, Rs1: 1, Imm: -2049},        // I-imm too small
+		{Op: OpSLLI, Rd: 1, Rs1: 1, Imm: 32},           // shift too large
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: 3},            // odd branch offset
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: 8192},         // branch too far
+		{Op: OpJAL, Rd: 1, Imm: 1 << 21},               // jump too far
+		{Op: OpLUI, Rd: 1, Imm: 0x123},                 // low bits set
+		{Op: OpSW, Rs1: 1, Rs2: 2, Imm: 4000},          // S-imm too large
+		{Op: OpSIMTS, Rd: 1, Rs1: 2, Rs2: 3, Imm: 128}, // interval too large
+		{Op: OpADD, Rd: 40},                            // register out of range
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) should fail", in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	words := []uint32{
+		0x00000000,            // all zeros
+		0xFFFFFFFF,            // all ones
+		0x00002063,            // branch funct3=2 (undefined)
+		0x00003003,            // load funct3=3 (undefined)
+		0x00003023,            // store funct3=3 (undefined)
+		0x02000033 | 0x7F<<25, // op with bogus funct7
+		0x00005013 | 0x10<<25, // srli with bogus funct7
+		0x00200073,            // system, not ecall/ebreak
+		0x0C0000D3 | 0x7F<<25, // op-fp with bogus funct7
+		0x00002007,            // flw funct3 wrong (funct3=2 ok) — use funct3=3
+	}
+	words[9] = 0x00003007 // flw with funct3=3
+	for _, w := range words {
+		if in, err := Decode(w); err == nil {
+			t.Errorf("Decode(0x%08x) = %v, want error", w, in)
+		}
+	}
+}
+
+// randInst produces a random valid instruction for the given op.
+func randInst(op Op, r *rand.Rand) Inst {
+	in := Inst{Op: op}
+	in.Rd = Reg(r.Intn(NumRegs))
+	in.Rs1 = Reg(r.Intn(NumRegs))
+	in.Rs2 = Reg(r.Intn(NumRegs))
+	if op.Format() == FormatR4 {
+		in.Rs3 = Reg(r.Intn(NumRegs))
+	}
+	switch op.Format() {
+	case FormatI:
+		switch op {
+		case OpSLLI, OpSRLI, OpSRAI:
+			in.Imm = int32(r.Intn(32))
+		case OpECALL, OpEBREAK, OpFENCE:
+			in.Rd, in.Rs1, in.Rs2 = 0, 0, 0
+		default:
+			in.Imm = int32(r.Intn(4096) - 2048)
+		}
+	case FormatS:
+		in.Imm = int32(r.Intn(4096) - 2048)
+	case FormatB:
+		in.Imm = int32(r.Intn(4096)-2048) * 2
+	case FormatU:
+		in.Imm = int32(r.Intn(1<<20)) << 12
+	case FormatJ:
+		in.Imm = int32(r.Intn(1<<19)-1<<18) * 2
+	case FormatFI:
+		in.Rs2 = 0
+	case FormatR:
+		if op == OpSIMTS {
+			in.Imm = int32(r.Intn(128))
+		}
+	}
+	// Ops that don't use a field must leave it zero for exact round-trip.
+	if !op.ReadsRs1() {
+		in.Rs1 = 0
+	}
+	if !op.ReadsRs2() && op.Format() != FormatFI {
+		in.Rs2 = 0
+	}
+	if !op.WritesRd() && op != OpSIMTE {
+		in.Rd = 0
+	}
+	return in
+}
+
+// TestEncodeDecodeRoundTrip is the core property test: for every op and
+// random operand values, Decode(Encode(x)) == x.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for op := OpLUI; op < NumOps; op++ {
+		for i := 0; i < 200; i++ {
+			in := randInst(op, r)
+			w, err := Encode(in)
+			if err != nil {
+				t.Fatalf("Encode(%v): %v", in, err)
+			}
+			got, err := Decode(w)
+			if err != nil {
+				t.Fatalf("Decode(Encode(%v)=0x%08x): %v", in, w, err)
+			}
+			if got != in {
+				t.Fatalf("round trip: %v -> 0x%08x -> %v", in, w, got)
+			}
+		}
+	}
+}
+
+// TestDecodeEncodeQuick: any word that decodes must re-encode to a word
+// that decodes to the same instruction (encoding canonicalizes rm bits).
+func TestDecodeEncodeQuick(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true // undecodable words are out of scope
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		in2, err := Decode(w2)
+		return err == nil && in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	if !OpLW.IsLoad() || !OpLW.IsMem() || OpLW.IsStore() {
+		t.Error("LW classification wrong")
+	}
+	if !OpSW.IsStore() || OpSW.WritesRd() {
+		t.Error("SW classification wrong")
+	}
+	if !OpBEQ.IsBranch() || !OpBEQ.IsControl() || OpBEQ.WritesRd() {
+		t.Error("BEQ classification wrong")
+	}
+	if !OpJAL.IsJump() || !OpJAL.WritesRd() || OpJAL.ReadsRs1() {
+		t.Error("JAL classification wrong")
+	}
+	if !OpJALR.ReadsRs1() {
+		t.Error("JALR must read rs1")
+	}
+	if !OpFADDS.IsFP() || OpADD.IsFP() {
+		t.Error("FP classification wrong")
+	}
+	if !OpFMADDS.ReadsRs3() || OpFADDS.ReadsRs3() {
+		t.Error("rs3 classification wrong")
+	}
+	if !OpFLW.FPRd() || OpFLW.FPRs1() {
+		t.Error("FLW register files wrong")
+	}
+	if !OpFSW.FPRs2() || OpFSW.FPRs1() {
+		t.Error("FSW register files wrong")
+	}
+	if OpFMVXW.FPRd() || !OpFMVXW.FPRs1() {
+		t.Error("FMV.X.W register files wrong")
+	}
+	if !OpFMVWX.FPRd() || OpFMVWX.FPRs1() {
+		t.Error("FMV.W.X register files wrong")
+	}
+	if OpSIMTS.Class() != ClassSIMT || OpSIMTE.Class() != ClassSIMT {
+		t.Error("SIMT class wrong")
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if ClassALU.Latency() != 1 {
+		t.Error("ALU latency should be 1")
+	}
+	if ClassMul.Latency() <= ClassALU.Latency() {
+		t.Error("MUL should be slower than ALU")
+	}
+	if ClassFPDiv.Latency() <= ClassFPMul.Latency() {
+		t.Error("FDIV should be slower than FMUL")
+	}
+	if ClassFPSqrt.Latency() <= ClassFPDiv.Latency() {
+		t.Error("FSQRT should be slower than FDIV")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpADDI, Rd: A0, Rs1: A1, Imm: -3}, "addi a0, a1, -3"},
+		{Inst{Op: OpADD, Rd: A0, Rs1: A1, Rs2: A2}, "add a0, a1, a2"},
+		{Inst{Op: OpLW, Rd: T0, Rs1: SP, Imm: 16}, "lw t0, 16(sp)"},
+		{Inst{Op: OpSW, Rs1: SP, Rs2: T0, Imm: 16}, "sw t0, 16(sp)"},
+		{Inst{Op: OpBEQ, Rs1: A0, Rs2: Zero, Imm: 8}, "beq a0, zero, 8"},
+		{Inst{Op: OpEBREAK}, "ebreak"},
+		{Inst{Op: OpFADDS, Rd: 1, Rs1: 2, Rs2: 3}, "fadd.s ft1, ft2, ft3"},
+		{Inst{Op: OpFLW, Rd: 1, Rs1: SP, Imm: 0}, "flw ft1, 0(sp)"},
+		{Inst{Op: OpFMVXW, Rd: A0, Rs1: 1}, "fmv.x.w a0, ft1"},
+		{Inst{Op: OpSIMTS, Rd: T0, Rs1: T1, Rs2: T2, Imm: 4}, "simt.s t0, t1, t2, 4"},
+		{Inst{Op: OpLUI, Rd: A0, Imm: 0x12000}, "lui a0, 0x12"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDecodeIgnoresRoundingMode(t *testing.T) {
+	// fadd.s with rm=7 (dynamic) must still decode.
+	w := MustEncode(Inst{Op: OpFADDS, Rd: 1, Rs1: 2, Rs2: 3}) | 7<<12
+	in, err := Decode(w)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if in.Op != OpFADDS {
+		t.Errorf("got %v, want fadd.s", in.Op)
+	}
+}
+
+func TestSIMTRoundTrip(t *testing.T) {
+	s := Inst{Op: OpSIMTS, Rd: T0, Rs1: T1, Rs2: T2, Imm: 17}
+	w := MustEncode(s)
+	got, err := Decode(w)
+	if err != nil || got != s {
+		t.Fatalf("simt.s round trip: %v %v", got, err)
+	}
+	e := Inst{Op: OpSIMTE, Rd: T0, Rs1: T2, Imm: -64}
+	w = MustEncode(e)
+	got, err = Decode(w)
+	if err != nil || got != e {
+		t.Fatalf("simt.e round trip: %v %v", got, err)
+	}
+}

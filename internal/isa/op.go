@@ -1,0 +1,360 @@
+package isa
+
+// Format identifies a RISC-V instruction encoding format.
+type Format uint8
+
+// Instruction formats. FormatR4 is used by the fused multiply-add group;
+// FormatFI covers FP ops whose rs2 field is a function selector rather
+// than a register (FSQRT, FCVT, FMV, FCLASS).
+const (
+	FormatR Format = iota
+	FormatI
+	FormatS
+	FormatB
+	FormatU
+	FormatJ
+	FormatR4
+	FormatFI // R-format with rs2 as a fixed function code
+)
+
+// Class groups instructions by the execution resource they need. Both
+// timing simulators key functional-unit selection and latency off Class.
+type Class uint8
+
+// Execution classes.
+const (
+	ClassALU Class = iota
+	ClassShift
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassFPAdd // FP add/sub/compare/convert/sign-inject/min/max/move
+	ClassFPMul
+	ClassFPDiv
+	ClassFPSqrt
+	ClassFMA
+	ClassSys  // FENCE, ECALL, EBREAK
+	ClassSIMT // DiAG simt.s / simt.e extensions
+)
+
+// Latency returns the fixed execute-stage latency in cycles for a class.
+// Memory classes return the address-generation latency; cache latency is
+// added by the memory subsystem. These match the fixed FP delays the
+// paper's RTL testbench uses (§7.1) and common RV32 FPU pipelines.
+func (c Class) Latency() int {
+	switch c {
+	case ClassALU, ClassShift, ClassBranch, ClassJump, ClassSys, ClassSIMT:
+		return 1
+	case ClassMul:
+		return 3
+	case ClassDiv:
+		return 12
+	case ClassLoad, ClassStore:
+		return 1
+	case ClassFPAdd:
+		return 3
+	case ClassFPMul:
+		return 4
+	case ClassFPDiv:
+		return 12
+	case ClassFPSqrt:
+		return 15
+	case ClassFMA:
+		return 5
+	}
+	return 1
+}
+
+// Op enumerates every instruction this library supports: RV32I, the M and
+// F standard extensions, and the DiAG SIMT extensions.
+type Op uint8
+
+// RV32I base integer instructions.
+const (
+	OpInvalid Op = iota
+	OpLUI
+	OpAUIPC
+	OpJAL
+	OpJALR
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+	OpLB
+	OpLH
+	OpLW
+	OpLBU
+	OpLHU
+	OpSB
+	OpSH
+	OpSW
+	OpADDI
+	OpSLTI
+	OpSLTIU
+	OpXORI
+	OpORI
+	OpANDI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpADD
+	OpSUB
+	OpSLL
+	OpSLT
+	OpSLTU
+	OpXOR
+	OpSRL
+	OpSRA
+	OpOR
+	OpAND
+	OpFENCE
+	OpECALL
+	OpEBREAK
+
+	// M extension.
+	OpMUL
+	OpMULH
+	OpMULHSU
+	OpMULHU
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+
+	// F extension (single-precision).
+	OpFLW
+	OpFSW
+	OpFMADDS
+	OpFMSUBS
+	OpFNMSUBS
+	OpFNMADDS
+	OpFADDS
+	OpFSUBS
+	OpFMULS
+	OpFDIVS
+	OpFSQRTS
+	OpFSGNJS
+	OpFSGNJNS
+	OpFSGNJXS
+	OpFMINS
+	OpFMAXS
+	OpFCVTWS  // f -> int
+	OpFCVTWUS // f -> uint
+	OpFMVXW   // f bits -> x
+	OpFEQS
+	OpFLTS
+	OpFLES
+	OpFCLASSS
+	OpFCVTSW  // int -> f
+	OpFCVTSWU // uint -> f
+	OpFMVWX   // x bits -> f
+
+	// DiAG ISA extensions (§5.4). Encoded on the custom-0 opcode.
+	OpSIMTS // simt.s rc, rstep, rend, interval — begin pipelined region
+	OpSIMTE // simt.e rc, rend, loffset       — end pipelined region
+
+	NumOps // sentinel
+)
+
+// opInfo is static metadata for one Op.
+type opInfo struct {
+	name   string
+	format Format
+	class  Class
+	opcode uint32 // 7-bit major opcode
+	funct3 uint32
+	funct7 uint32 // also funct7-like imm[11:5] for SLLI/SRLI/SRAI; rs2 code for FormatFI
+	// operand usage
+	readsRs1, readsRs2, readsRs3 bool
+	writesRd                     bool
+	fpRd, fpRs1, fpRs2           bool // operand slots in the FP register file
+}
+
+const (
+	opcLUI     = 0b0110111
+	opcAUIPC   = 0b0010111
+	opcJAL     = 0b1101111
+	opcJALR    = 0b1100111
+	opcBranch  = 0b1100011
+	opcLoad    = 0b0000011
+	opcStore   = 0b0100011
+	opcOpImm   = 0b0010011
+	opcOp      = 0b0110011
+	opcMisc    = 0b0001111
+	opcSystem  = 0b1110011
+	opcLoadFP  = 0b0000111
+	opcStoreFP = 0b0100111
+	opcFMAdd   = 0b1000011
+	opcFMSub   = 0b1000111
+	opcFNMSub  = 0b1001011
+	opcFNMAdd  = 0b1001111
+	opcOpFP    = 0b1010011
+	opcCustom0 = 0b0001011 // DiAG SIMT extensions
+)
+
+var opTable = [NumOps]opInfo{
+	OpInvalid: {name: "invalid"},
+
+	OpLUI:   {name: "lui", format: FormatU, class: ClassALU, opcode: opcLUI, writesRd: true},
+	OpAUIPC: {name: "auipc", format: FormatU, class: ClassALU, opcode: opcAUIPC, writesRd: true},
+	OpJAL:   {name: "jal", format: FormatJ, class: ClassJump, opcode: opcJAL, writesRd: true},
+	OpJALR:  {name: "jalr", format: FormatI, class: ClassJump, opcode: opcJALR, funct3: 0, readsRs1: true, writesRd: true},
+
+	OpBEQ:  {name: "beq", format: FormatB, class: ClassBranch, opcode: opcBranch, funct3: 0, readsRs1: true, readsRs2: true},
+	OpBNE:  {name: "bne", format: FormatB, class: ClassBranch, opcode: opcBranch, funct3: 1, readsRs1: true, readsRs2: true},
+	OpBLT:  {name: "blt", format: FormatB, class: ClassBranch, opcode: opcBranch, funct3: 4, readsRs1: true, readsRs2: true},
+	OpBGE:  {name: "bge", format: FormatB, class: ClassBranch, opcode: opcBranch, funct3: 5, readsRs1: true, readsRs2: true},
+	OpBLTU: {name: "bltu", format: FormatB, class: ClassBranch, opcode: opcBranch, funct3: 6, readsRs1: true, readsRs2: true},
+	OpBGEU: {name: "bgeu", format: FormatB, class: ClassBranch, opcode: opcBranch, funct3: 7, readsRs1: true, readsRs2: true},
+
+	OpLB:  {name: "lb", format: FormatI, class: ClassLoad, opcode: opcLoad, funct3: 0, readsRs1: true, writesRd: true},
+	OpLH:  {name: "lh", format: FormatI, class: ClassLoad, opcode: opcLoad, funct3: 1, readsRs1: true, writesRd: true},
+	OpLW:  {name: "lw", format: FormatI, class: ClassLoad, opcode: opcLoad, funct3: 2, readsRs1: true, writesRd: true},
+	OpLBU: {name: "lbu", format: FormatI, class: ClassLoad, opcode: opcLoad, funct3: 4, readsRs1: true, writesRd: true},
+	OpLHU: {name: "lhu", format: FormatI, class: ClassLoad, opcode: opcLoad, funct3: 5, readsRs1: true, writesRd: true},
+
+	OpSB: {name: "sb", format: FormatS, class: ClassStore, opcode: opcStore, funct3: 0, readsRs1: true, readsRs2: true},
+	OpSH: {name: "sh", format: FormatS, class: ClassStore, opcode: opcStore, funct3: 1, readsRs1: true, readsRs2: true},
+	OpSW: {name: "sw", format: FormatS, class: ClassStore, opcode: opcStore, funct3: 2, readsRs1: true, readsRs2: true},
+
+	OpADDI:  {name: "addi", format: FormatI, class: ClassALU, opcode: opcOpImm, funct3: 0, readsRs1: true, writesRd: true},
+	OpSLTI:  {name: "slti", format: FormatI, class: ClassALU, opcode: opcOpImm, funct3: 2, readsRs1: true, writesRd: true},
+	OpSLTIU: {name: "sltiu", format: FormatI, class: ClassALU, opcode: opcOpImm, funct3: 3, readsRs1: true, writesRd: true},
+	OpXORI:  {name: "xori", format: FormatI, class: ClassALU, opcode: opcOpImm, funct3: 4, readsRs1: true, writesRd: true},
+	OpORI:   {name: "ori", format: FormatI, class: ClassALU, opcode: opcOpImm, funct3: 6, readsRs1: true, writesRd: true},
+	OpANDI:  {name: "andi", format: FormatI, class: ClassALU, opcode: opcOpImm, funct3: 7, readsRs1: true, writesRd: true},
+	OpSLLI:  {name: "slli", format: FormatI, class: ClassShift, opcode: opcOpImm, funct3: 1, funct7: 0x00, readsRs1: true, writesRd: true},
+	OpSRLI:  {name: "srli", format: FormatI, class: ClassShift, opcode: opcOpImm, funct3: 5, funct7: 0x00, readsRs1: true, writesRd: true},
+	OpSRAI:  {name: "srai", format: FormatI, class: ClassShift, opcode: opcOpImm, funct3: 5, funct7: 0x20, readsRs1: true, writesRd: true},
+
+	OpADD:  {name: "add", format: FormatR, class: ClassALU, opcode: opcOp, funct3: 0, funct7: 0x00, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSUB:  {name: "sub", format: FormatR, class: ClassALU, opcode: opcOp, funct3: 0, funct7: 0x20, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSLL:  {name: "sll", format: FormatR, class: ClassShift, opcode: opcOp, funct3: 1, funct7: 0x00, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSLT:  {name: "slt", format: FormatR, class: ClassALU, opcode: opcOp, funct3: 2, funct7: 0x00, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSLTU: {name: "sltu", format: FormatR, class: ClassALU, opcode: opcOp, funct3: 3, funct7: 0x00, readsRs1: true, readsRs2: true, writesRd: true},
+	OpXOR:  {name: "xor", format: FormatR, class: ClassALU, opcode: opcOp, funct3: 4, funct7: 0x00, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSRL:  {name: "srl", format: FormatR, class: ClassShift, opcode: opcOp, funct3: 5, funct7: 0x00, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSRA:  {name: "sra", format: FormatR, class: ClassShift, opcode: opcOp, funct3: 5, funct7: 0x20, readsRs1: true, readsRs2: true, writesRd: true},
+	OpOR:   {name: "or", format: FormatR, class: ClassALU, opcode: opcOp, funct3: 6, funct7: 0x00, readsRs1: true, readsRs2: true, writesRd: true},
+	OpAND:  {name: "and", format: FormatR, class: ClassALU, opcode: opcOp, funct3: 7, funct7: 0x00, readsRs1: true, readsRs2: true, writesRd: true},
+
+	OpFENCE:  {name: "fence", format: FormatI, class: ClassSys, opcode: opcMisc, funct3: 0},
+	OpECALL:  {name: "ecall", format: FormatI, class: ClassSys, opcode: opcSystem, funct3: 0, funct7: 0x00},
+	OpEBREAK: {name: "ebreak", format: FormatI, class: ClassSys, opcode: opcSystem, funct3: 0, funct7: 0x00},
+
+	OpMUL:    {name: "mul", format: FormatR, class: ClassMul, opcode: opcOp, funct3: 0, funct7: 0x01, readsRs1: true, readsRs2: true, writesRd: true},
+	OpMULH:   {name: "mulh", format: FormatR, class: ClassMul, opcode: opcOp, funct3: 1, funct7: 0x01, readsRs1: true, readsRs2: true, writesRd: true},
+	OpMULHSU: {name: "mulhsu", format: FormatR, class: ClassMul, opcode: opcOp, funct3: 2, funct7: 0x01, readsRs1: true, readsRs2: true, writesRd: true},
+	OpMULHU:  {name: "mulhu", format: FormatR, class: ClassMul, opcode: opcOp, funct3: 3, funct7: 0x01, readsRs1: true, readsRs2: true, writesRd: true},
+	OpDIV:    {name: "div", format: FormatR, class: ClassDiv, opcode: opcOp, funct3: 4, funct7: 0x01, readsRs1: true, readsRs2: true, writesRd: true},
+	OpDIVU:   {name: "divu", format: FormatR, class: ClassDiv, opcode: opcOp, funct3: 5, funct7: 0x01, readsRs1: true, readsRs2: true, writesRd: true},
+	OpREM:    {name: "rem", format: FormatR, class: ClassDiv, opcode: opcOp, funct3: 6, funct7: 0x01, readsRs1: true, readsRs2: true, writesRd: true},
+	OpREMU:   {name: "remu", format: FormatR, class: ClassDiv, opcode: opcOp, funct3: 7, funct7: 0x01, readsRs1: true, readsRs2: true, writesRd: true},
+
+	OpFLW: {name: "flw", format: FormatI, class: ClassLoad, opcode: opcLoadFP, funct3: 2, readsRs1: true, writesRd: true, fpRd: true},
+	OpFSW: {name: "fsw", format: FormatS, class: ClassStore, opcode: opcStoreFP, funct3: 2, readsRs1: true, readsRs2: true, fpRs2: true},
+
+	OpFMADDS:  {name: "fmadd.s", format: FormatR4, class: ClassFMA, opcode: opcFMAdd, readsRs1: true, readsRs2: true, readsRs3: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFMSUBS:  {name: "fmsub.s", format: FormatR4, class: ClassFMA, opcode: opcFMSub, readsRs1: true, readsRs2: true, readsRs3: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFNMSUBS: {name: "fnmsub.s", format: FormatR4, class: ClassFMA, opcode: opcFNMSub, readsRs1: true, readsRs2: true, readsRs3: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFNMADDS: {name: "fnmadd.s", format: FormatR4, class: ClassFMA, opcode: opcFNMAdd, readsRs1: true, readsRs2: true, readsRs3: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+
+	OpFADDS: {name: "fadd.s", format: FormatR, class: ClassFPAdd, opcode: opcOpFP, funct7: 0x00, readsRs1: true, readsRs2: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFSUBS: {name: "fsub.s", format: FormatR, class: ClassFPAdd, opcode: opcOpFP, funct7: 0x04, readsRs1: true, readsRs2: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFMULS: {name: "fmul.s", format: FormatR, class: ClassFPMul, opcode: opcOpFP, funct7: 0x08, readsRs1: true, readsRs2: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFDIVS: {name: "fdiv.s", format: FormatR, class: ClassFPDiv, opcode: opcOpFP, funct7: 0x0C, readsRs1: true, readsRs2: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+
+	OpFSQRTS: {name: "fsqrt.s", format: FormatFI, class: ClassFPSqrt, opcode: opcOpFP, funct7: 0x2C, readsRs1: true, writesRd: true, fpRd: true, fpRs1: true},
+
+	OpFSGNJS:  {name: "fsgnj.s", format: FormatR, class: ClassFPAdd, opcode: opcOpFP, funct3: 0, funct7: 0x10, readsRs1: true, readsRs2: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFSGNJNS: {name: "fsgnjn.s", format: FormatR, class: ClassFPAdd, opcode: opcOpFP, funct3: 1, funct7: 0x10, readsRs1: true, readsRs2: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFSGNJXS: {name: "fsgnjx.s", format: FormatR, class: ClassFPAdd, opcode: opcOpFP, funct3: 2, funct7: 0x10, readsRs1: true, readsRs2: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFMINS:   {name: "fmin.s", format: FormatR, class: ClassFPAdd, opcode: opcOpFP, funct3: 0, funct7: 0x14, readsRs1: true, readsRs2: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFMAXS:   {name: "fmax.s", format: FormatR, class: ClassFPAdd, opcode: opcOpFP, funct3: 1, funct7: 0x14, readsRs1: true, readsRs2: true, writesRd: true, fpRd: true, fpRs1: true, fpRs2: true},
+
+	OpFCVTWS:  {name: "fcvt.w.s", format: FormatFI, class: ClassFPAdd, opcode: opcOpFP, funct7: 0x60, funct3: 0, readsRs1: true, writesRd: true, fpRs1: true},
+	OpFCVTWUS: {name: "fcvt.wu.s", format: FormatFI, class: ClassFPAdd, opcode: opcOpFP, funct7: 0x60, funct3: 0, readsRs1: true, writesRd: true, fpRs1: true},
+	OpFMVXW:   {name: "fmv.x.w", format: FormatFI, class: ClassFPAdd, opcode: opcOpFP, funct7: 0x70, funct3: 0, readsRs1: true, writesRd: true, fpRs1: true},
+	OpFCLASSS: {name: "fclass.s", format: FormatFI, class: ClassFPAdd, opcode: opcOpFP, funct7: 0x70, funct3: 1, readsRs1: true, writesRd: true, fpRs1: true},
+
+	OpFEQS: {name: "feq.s", format: FormatR, class: ClassFPAdd, opcode: opcOpFP, funct3: 2, funct7: 0x50, readsRs1: true, readsRs2: true, writesRd: true, fpRs1: true, fpRs2: true},
+	OpFLTS: {name: "flt.s", format: FormatR, class: ClassFPAdd, opcode: opcOpFP, funct3: 1, funct7: 0x50, readsRs1: true, readsRs2: true, writesRd: true, fpRs1: true, fpRs2: true},
+	OpFLES: {name: "fle.s", format: FormatR, class: ClassFPAdd, opcode: opcOpFP, funct3: 0, funct7: 0x50, readsRs1: true, readsRs2: true, writesRd: true, fpRs1: true, fpRs2: true},
+
+	OpFCVTSW:  {name: "fcvt.s.w", format: FormatFI, class: ClassFPAdd, opcode: opcOpFP, funct7: 0x68, funct3: 0, readsRs1: true, writesRd: true, fpRd: true},
+	OpFCVTSWU: {name: "fcvt.s.wu", format: FormatFI, class: ClassFPAdd, opcode: opcOpFP, funct7: 0x68, funct3: 0, readsRs1: true, writesRd: true, fpRd: true},
+	OpFMVWX:   {name: "fmv.w.x", format: FormatFI, class: ClassFPAdd, opcode: opcOpFP, funct7: 0x78, funct3: 0, readsRs1: true, writesRd: true, fpRd: true},
+
+	OpSIMTS: {name: "simt.s", format: FormatR, class: ClassSIMT, opcode: opcCustom0, funct3: 0, readsRs1: true, readsRs2: true, writesRd: true},
+	OpSIMTE: {name: "simt.e", format: FormatI, class: ClassSIMT, opcode: opcCustom0, funct3: 1, readsRs1: true},
+}
+
+// String returns the assembly mnemonic.
+func (o Op) String() string {
+	if o < NumOps {
+		return opTable[o].name
+	}
+	return "op?"
+}
+
+// Format returns the encoding format of o.
+func (o Op) Format() Format { return opTable[o].format }
+
+// Class returns the execution class of o.
+func (o Op) Class() Class { return opTable[o].class }
+
+// ReadsRs1 reports whether o reads its rs1 operand.
+func (o Op) ReadsRs1() bool { return opTable[o].readsRs1 }
+
+// ReadsRs2 reports whether o reads its rs2 operand.
+func (o Op) ReadsRs2() bool { return opTable[o].readsRs2 }
+
+// ReadsRs3 reports whether o reads an rs3 operand (FMA group only).
+func (o Op) ReadsRs3() bool { return opTable[o].readsRs3 }
+
+// WritesRd reports whether o writes a destination register.
+func (o Op) WritesRd() bool { return opTable[o].writesRd }
+
+// FPRd reports whether o's destination is in the FP register file.
+func (o Op) FPRd() bool { return opTable[o].fpRd }
+
+// FPRs1 reports whether o's rs1 is in the FP register file.
+func (o Op) FPRs1() bool { return opTable[o].fpRs1 }
+
+// FPRs2 reports whether o's rs2 is in the FP register file.
+func (o Op) FPRs2() bool { return opTable[o].fpRs2 }
+
+// IsBranch reports whether o is a conditional branch.
+func (o Op) IsBranch() bool { return opTable[o].class == ClassBranch }
+
+// IsJump reports whether o is an unconditional jump (JAL/JALR).
+func (o Op) IsJump() bool { return opTable[o].class == ClassJump }
+
+// IsControl reports whether o may redirect the PC.
+func (o Op) IsControl() bool { return o.IsBranch() || o.IsJump() }
+
+// IsLoad reports whether o reads memory.
+func (o Op) IsLoad() bool { return opTable[o].class == ClassLoad }
+
+// IsStore reports whether o writes memory.
+func (o Op) IsStore() bool { return opTable[o].class == ClassStore }
+
+// IsMem reports whether o accesses data memory.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// IsFP reports whether o uses the floating-point unit.
+func (o Op) IsFP() bool {
+	switch opTable[o].class {
+	case ClassFPAdd, ClassFPMul, ClassFPDiv, ClassFPSqrt, ClassFMA:
+		return true
+	}
+	return false
+}
+
+// Valid reports whether o is a defined, encodable operation.
+func (o Op) Valid() bool { return o > OpInvalid && o < NumOps }

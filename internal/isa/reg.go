@@ -1,0 +1,126 @@
+// Package isa defines the RV32IMF instruction set used by every simulator
+// in this repository: instruction formats, opcode metadata, a full binary
+// encoder and decoder, a disassembler, and the two DiAG ISA extensions
+// (simt.s / simt.e) described in §5.4 of the paper.
+//
+// The package is deliberately free of any machine state; it only describes
+// instructions. The functional semantics live in internal/iss, and the
+// timing semantics live in internal/diag and internal/ooo.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 32 integer or 32 floating-point registers.
+// Whether a Reg names an x-register or an f-register is determined by the
+// operand slot of the instruction that uses it (FP instructions read and
+// write f-registers except where noted, e.g. FMV.X.W writes an x-register).
+type Reg uint8
+
+// NumRegs is the number of architectural registers in each file. DiAG's
+// register lanes carry one lane per architectural register (§4.1), so this
+// is also the number of lanes per cluster.
+const NumRegs = 32
+
+// Zero is the hardwired zero register x0.
+const Zero Reg = 0
+
+// Common ABI register names.
+const (
+	RA  Reg = 1 // return address
+	SP  Reg = 2 // stack pointer
+	GP  Reg = 3 // global pointer
+	TP  Reg = 4 // thread pointer
+	T0  Reg = 5
+	T1  Reg = 6
+	T2  Reg = 7
+	S0  Reg = 8 // frame pointer
+	S1  Reg = 9
+	A0  Reg = 10
+	A1  Reg = 11
+	A2  Reg = 12
+	A3  Reg = 13
+	A4  Reg = 14
+	A5  Reg = 15
+	A6  Reg = 16
+	A7  Reg = 17
+	S2  Reg = 18
+	S3  Reg = 19
+	S4  Reg = 20
+	S5  Reg = 21
+	S6  Reg = 22
+	S7  Reg = 23
+	S8  Reg = 24
+	S9  Reg = 25
+	S10 Reg = 26
+	S11 Reg = 27
+	T3  Reg = 28
+	T4  Reg = 29
+	T5  Reg = 30
+	T6  Reg = 31
+)
+
+var abiNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+var fABINames = [NumRegs]string{
+	"ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+	"fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+	"fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+	"fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+}
+
+// String returns the integer ABI name (e.g. "a0" for Reg(10)).
+func (r Reg) String() string {
+	if r < NumRegs {
+		return abiNames[r]
+	}
+	return fmt.Sprintf("x?%d", uint8(r))
+}
+
+// FName returns the floating-point ABI name (e.g. "fa0" for Reg(10)).
+func (r Reg) FName() string {
+	if r < NumRegs {
+		return fABINames[r]
+	}
+	return fmt.Sprintf("f?%d", uint8(r))
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// RegByName resolves an integer register name: numeric ("x7"), ABI ("t2"),
+// or "fp" (alias of s0). ok is false if the name is not an integer register.
+func RegByName(name string) (Reg, bool) {
+	if name == "fp" {
+		return S0, true
+	}
+	for i, n := range abiNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	var idx int
+	if n, err := fmt.Sscanf(name, "x%d", &idx); err == nil && n == 1 && idx >= 0 && idx < NumRegs {
+		return Reg(idx), true
+	}
+	return 0, false
+}
+
+// FRegByName resolves a floating-point register name: numeric ("f7") or
+// ABI ("fa0"). ok is false if the name is not an FP register.
+func FRegByName(name string) (Reg, bool) {
+	for i, n := range fABINames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	var idx int
+	if n, err := fmt.Sscanf(name, "f%d", &idx); err == nil && n == 1 && idx >= 0 && idx < NumRegs {
+		return Reg(idx), true
+	}
+	return 0, false
+}

@@ -1,0 +1,142 @@
+package iss
+
+import (
+	"testing"
+
+	"diag/internal/isa"
+)
+
+// Remaining-semantics coverage: every branch condition, MULHSU, AUIPC,
+// misaligned halves/floats, and the exported BranchTaken helper.
+
+func TestAllBranchConditions(t *testing.T) {
+	cases := []struct {
+		op        isa.Op
+		a, b      uint32
+		wantTaken bool
+	}{
+		{isa.OpBEQ, 5, 5, true},
+		{isa.OpBEQ, 5, 6, false},
+		{isa.OpBNE, 5, 6, true},
+		{isa.OpBNE, 5, 5, false},
+		{isa.OpBLT, uint32(0xFFFFFFFF), 0, true}, // -1 < 0 signed
+		{isa.OpBLT, 0, uint32(0xFFFFFFFF), false},
+		{isa.OpBGE, 0, uint32(0xFFFFFFFF), true},
+		{isa.OpBGE, uint32(0xFFFFFFFF), 0, false},
+		{isa.OpBLTU, 0, uint32(0xFFFFFFFF), true}, // 0 < max unsigned
+		{isa.OpBLTU, uint32(0xFFFFFFFF), 0, false},
+		{isa.OpBGEU, uint32(0xFFFFFFFF), 0, true},
+		{isa.OpBGEU, 0, uint32(0xFFFFFFFF), false},
+		{isa.OpADD, 1, 2, false}, // non-branch defaults to false
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b); got != c.wantTaken {
+			t.Errorf("BranchTaken(%v, %d, %d) = %v", c.op, c.a, c.b, got)
+		}
+	}
+}
+
+func TestMULHSUAndAUIPC(t *testing.T) {
+	c := run(t, []isa.Inst{
+		{Op: isa.OpADDI, Rd: isa.A0, Rs1: isa.Zero, Imm: -2}, // signed -2
+		{Op: isa.OpLUI, Rd: isa.A1, Imm: 0x7FFFF000},         // big unsigned
+		{Op: isa.OpMULHSU, Rd: isa.A2, Rs1: isa.A0, Rs2: isa.A1},
+		{Op: isa.OpAUIPC, Rd: isa.A3, Imm: 0x2000},
+		{Op: isa.OpEBREAK},
+	})
+	prod := int64(-2) * int64(0x7FFFF000)
+	want := uint32(uint64(prod) >> 32)
+	if c.X[isa.A2] != want {
+		t.Errorf("mulhsu = 0x%x, want 0x%x", c.X[isa.A2], want)
+	}
+	// AUIPC at 0x100c: a3 = 0x100c + 0x2000.
+	if c.X[isa.A3] != 0x100c+0x2000 {
+		t.Errorf("auipc = 0x%x", c.X[isa.A3])
+	}
+}
+
+func TestMisalignedHalfAndFloatAccesses(t *testing.T) {
+	build := func(op isa.Op) *CPU {
+		return load(t, []isa.Inst{
+			{Op: isa.OpADDI, Rd: isa.A0, Rs1: isa.Zero, Imm: 1}, // odd address
+			{Op: op, Rd: isa.A1, Rs1: isa.A0, Rs2: isa.A1, Imm: 0},
+		})
+	}
+	for _, op := range []isa.Op{isa.OpLH, isa.OpLHU, isa.OpSH} {
+		c := build(op)
+		c.Run(10)
+		if !c.Halted || c.Err == nil {
+			t.Errorf("%v at odd address must fault", op)
+		}
+	}
+	// Word-sized FP accesses at address 2.
+	for _, op := range []isa.Op{isa.OpFLW, isa.OpFSW, isa.OpSW} {
+		c := load(t, []isa.Inst{
+			{Op: isa.OpADDI, Rd: isa.A0, Rs1: isa.Zero, Imm: 2},
+			{Op: op, Rd: 1, Rs1: isa.A0, Rs2: 1, Imm: 0},
+		})
+		c.Run(10)
+		if !c.Halted || c.Err == nil {
+			t.Errorf("%v at address 2 must fault", op)
+		}
+	}
+}
+
+func TestMisalignedPCFaults(t *testing.T) {
+	c := load(t, []isa.Inst{
+		{Op: isa.OpADDI, Rd: isa.A0, Rs1: isa.Zero, Imm: 0x700},
+		{Op: isa.OpADDI, Rd: isa.A0, Rs1: isa.A0, Imm: 0x702}, // a0 = 0xE02
+		{Op: isa.OpJALR, Rd: isa.Zero, Rs1: isa.A0, Imm: 0},
+	})
+	// jalr clears bit 0 only; 0x1002 stays misaligned and must fault on
+	// the next fetch.
+	c.Run(10)
+	if !c.Halted || c.Err == nil {
+		t.Error("misaligned PC must fault")
+	}
+}
+
+func TestFENCEIsNop(t *testing.T) {
+	c := run(t, []isa.Inst{
+		{Op: isa.OpADDI, Rd: isa.A0, Rs1: isa.Zero, Imm: 3},
+		{Op: isa.OpFENCE},
+		{Op: isa.OpADDI, Rd: isa.A0, Rs1: isa.A0, Imm: 4},
+		{Op: isa.OpEBREAK},
+	})
+	if c.X[isa.A0] != 7 {
+		t.Errorf("a0 = %d", c.X[isa.A0])
+	}
+}
+
+func TestCvtWUSBoundaries(t *testing.T) {
+	if cvtWUS(0.5) != 0 {
+		t.Error("0.5 truncates to 0")
+	}
+	if cvtWUS(3.99) != 3 {
+		t.Error("3.99 truncates to 3")
+	}
+	if cvtWUS(4e9) != 4000000000 {
+		t.Error("4e9 fits in uint32")
+	}
+	if cvtWUS(5e9) != 0xFFFFFFFF {
+		t.Error("overflow must saturate")
+	}
+}
+
+func TestFNMAddSubSigns(t *testing.T) {
+	c := run(t, []isa.Inst{
+		{Op: isa.OpADDI, Rd: isa.A0, Rs1: isa.Zero, Imm: 2},
+		{Op: isa.OpFCVTSW, Rd: 0, Rs1: isa.A0}, // f0 = 2
+		{Op: isa.OpADDI, Rd: isa.A1, Rs1: isa.Zero, Imm: 3},
+		{Op: isa.OpFCVTSW, Rd: 1, Rs1: isa.A1}, // f1 = 3
+		{Op: isa.OpADDI, Rd: isa.A2, Rs1: isa.Zero, Imm: 10},
+		{Op: isa.OpFCVTSW, Rd: 2, Rs1: isa.A2},             // f2 = 10
+		{Op: isa.OpFMSUBS, Rd: 3, Rs1: 0, Rs2: 1, Rs3: 2},  // 2*3-10 = -4
+		{Op: isa.OpFNMSUBS, Rd: 4, Rs1: 0, Rs2: 1, Rs3: 2}, // -(2*3)+10 = 4
+		{Op: isa.OpFNMADDS, Rd: 5, Rs1: 0, Rs2: 1, Rs3: 2}, // -(2*3)-10 = -16
+		{Op: isa.OpEBREAK},
+	})
+	if c.FReg(3) != -4 || c.FReg(4) != 4 || c.FReg(5) != -16 {
+		t.Errorf("fused variants: %v %v %v", c.FReg(3), c.FReg(4), c.FReg(5))
+	}
+}

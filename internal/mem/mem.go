@@ -1,0 +1,197 @@
+// Package mem provides the byte-addressable, little-endian sparse memory
+// used by every machine model in this repository, plus program-image
+// loading helpers.
+//
+// Memory is organized as fixed-size pages allocated on first touch, so a
+// 4 GiB address space costs only what the program actually uses. All
+// machines in the repo (ISS, DiAG, OoO) share one Memory per run; timing
+// simulators model latency separately through internal/cache.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+const (
+	pageShift = 12
+	// PageSize is the allocation granule of the sparse memory.
+	PageSize = 1 << pageShift
+	pageMask = PageSize - 1
+)
+
+// Memory is a sparse 32-bit physical address space. The zero value is
+// ready to use.
+type Memory struct {
+	pages map[uint32]*[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32, alloc bool) *[PageSize]byte {
+	if m.pages == nil {
+		if !alloc {
+			return nil
+		}
+		m.pages = make(map[uint32]*[PageSize]byte)
+	}
+	idx := addr >> pageShift
+	p := m.pages[idx]
+	if p == nil && alloc {
+		p = new([PageSize]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr (0 if never written).
+func (m *Memory) LoadByte(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// StoreByte stores one byte at addr.
+func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// LoadWord returns the little-endian 32-bit word at addr. Unaligned reads
+// are assembled byte-wise (RV32 allows them in our bare-metal model, but
+// the machines report misalignment separately).
+func (m *Memory) LoadWord(addr uint32) uint32 {
+	if addr&3 == 0 && addr&pageMask <= PageSize-4 {
+		if p := m.page(addr, false); p != nil {
+			off := addr & pageMask
+			return binary.LittleEndian.Uint32(p[off : off+4])
+		}
+		return 0
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		v |= uint32(m.LoadByte(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// StoreWord stores a little-endian 32-bit word at addr.
+func (m *Memory) StoreWord(addr uint32, v uint32) {
+	if addr&3 == 0 && addr&pageMask <= PageSize-4 {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		binary.LittleEndian.PutUint32(p[off:off+4], v)
+		return
+	}
+	for i := uint32(0); i < 4; i++ {
+		m.StoreByte(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// LoadHalf returns the little-endian 16-bit halfword at addr.
+func (m *Memory) LoadHalf(addr uint32) uint16 {
+	return uint16(m.LoadByte(addr)) | uint16(m.LoadByte(addr+1))<<8
+}
+
+// StoreHalf stores a little-endian 16-bit halfword at addr.
+func (m *Memory) StoreHalf(addr uint32, v uint16) {
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+}
+
+// LoadFloat32 returns the IEEE 754 single at addr.
+func (m *Memory) LoadFloat32(addr uint32) float32 {
+	return math.Float32frombits(m.LoadWord(addr))
+}
+
+// StoreFloat32 stores an IEEE 754 single at addr.
+func (m *Memory) StoreFloat32(addr uint32, v float32) {
+	m.StoreWord(addr, math.Float32bits(v))
+}
+
+// LoadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) LoadBytes(addr uint32, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = m.LoadByte(addr + uint32(i))
+	}
+	return b
+}
+
+// StoreBytes stores b starting at addr.
+func (m *Memory) StoreBytes(addr uint32, b []byte) {
+	for i, v := range b {
+		m.StoreByte(addr+uint32(i), v)
+	}
+}
+
+// Checksum returns an order-independent-of-allocation FNV-1a hash over
+// the given address range; used by tests to compare final memory states
+// across different machine models.
+func (m *Memory) Checksum(addr, n uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := uint32(0); i < n; i++ {
+		h ^= uint64(m.LoadByte(addr + i))
+		h *= prime64
+	}
+	return h
+}
+
+// Footprint returns the number of bytes of backing store allocated.
+func (m *Memory) Footprint() int { return len(m.pages) * PageSize }
+
+// Clone returns a deep copy; used to give each simulated machine an
+// identical initial memory image.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for idx, p := range m.pages {
+		np := new([PageSize]byte)
+		*np = *p
+		c.pages[idx] = np
+	}
+	return c
+}
+
+// Image is a loadable program: instruction words at Entry, plus arbitrary
+// initialized data segments. It is the interchange format between the
+// assembler / workload builders and the machines.
+type Image struct {
+	Entry    uint32    // initial PC
+	TextAddr uint32    // base address of Text
+	Text     []uint32  // instruction words
+	Segments []Segment // initialized data
+}
+
+// Segment is one initialized data region of an Image.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// TextEnd returns the first address past the text section.
+func (img *Image) TextEnd() uint32 {
+	return img.TextAddr + uint32(len(img.Text))*4
+}
+
+// Load writes the image into m and returns the entry PC.
+func (img *Image) Load(m *Memory) (uint32, error) {
+	if img.TextAddr&3 != 0 {
+		return 0, fmt.Errorf("mem: text base 0x%x not word-aligned", img.TextAddr)
+	}
+	for i, w := range img.Text {
+		m.StoreWord(img.TextAddr+uint32(i)*4, w)
+	}
+	for _, s := range img.Segments {
+		m.StoreBytes(s.Addr, s.Data)
+	}
+	return img.Entry, nil
+}

@@ -1,0 +1,462 @@
+package ooo
+
+import (
+	"fmt"
+
+	"diag/internal/branch"
+	"diag/internal/cache"
+	"diag/internal/isa"
+	"diag/internal/iss"
+	"diag/internal/mem"
+)
+
+// Stats aggregates one core's (or one machine's) execution counters.
+type Stats struct {
+	Cycles  int64
+	Retired uint64
+
+	// Branch prediction.
+	Branches    uint64
+	Mispredicts uint64
+	BTBMisses   uint64
+
+	// Event counts consumed by the McPAT-like power model: every retired
+	// instruction passes through all frontend structures; wrong-path work
+	// after mispredictions is estimated separately.
+	FetchedInsts  uint64 // includes estimated wrong-path fetches
+	RenameOps     uint64
+	IQWakeups     uint64
+	RegReads      uint64
+	RegWrites     uint64
+	ROBWrites     uint64
+	FUBusyCycles  int64
+	FPBusyCycles  int64
+	LSQSearches   uint64
+	StoreForwards uint64
+	Loads, Stores uint64
+
+	L1I, L1D, L2 cache.Stats
+	DRAMAccesses uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredictions per branch.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Merge accumulates o into s (multicore aggregation: max cycles, summed
+// event counts).
+func (s *Stats) Merge(o Stats) {
+	if o.Cycles > s.Cycles {
+		s.Cycles = o.Cycles
+	}
+	s.Retired += o.Retired
+	s.Branches += o.Branches
+	s.Mispredicts += o.Mispredicts
+	s.BTBMisses += o.BTBMisses
+	s.FetchedInsts += o.FetchedInsts
+	s.RenameOps += o.RenameOps
+	s.IQWakeups += o.IQWakeups
+	s.RegReads += o.RegReads
+	s.RegWrites += o.RegWrites
+	s.ROBWrites += o.ROBWrites
+	s.FUBusyCycles += o.FUBusyCycles
+	s.FPBusyCycles += o.FPBusyCycles
+	s.LSQSearches += o.LSQSearches
+	s.StoreForwards += o.StoreForwards
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	mergeCache(&s.L1I, o.L1I)
+	mergeCache(&s.L1D, o.L1D)
+	mergeCache(&s.L2, o.L2)
+	s.DRAMAccesses += o.DRAMAccesses
+}
+
+func mergeCache(dst *cache.Stats, src cache.Stats) {
+	dst.Accesses += src.Accesses
+	dst.Hits += src.Hits
+	dst.Misses += src.Misses
+	dst.Evictions += src.Evictions
+	dst.Writebacks += src.Writebacks
+	dst.Prefetches += src.Prefetches
+}
+
+// fuPool models a class of functional units: k units, each either fully
+// pipelined (occupancy 1) or blocking (occupancy = latency).
+type fuPool struct {
+	freeAt    []int64
+	pipelined bool
+}
+
+func newFUPool(n int, pipelined bool) *fuPool {
+	return &fuPool{freeAt: make([]int64, n), pipelined: pipelined}
+}
+
+// acquire returns the earliest start >= ready on any unit and reserves it.
+func (p *fuPool) acquire(ready, latency int64) int64 {
+	best := 0
+	for i := 1; i < len(p.freeAt); i++ {
+		if p.freeAt[i] < p.freeAt[best] {
+			best = i
+		}
+	}
+	start := ready
+	if p.freeAt[best] > start {
+		start = p.freeAt[best]
+	}
+	if p.pipelined {
+		p.freeAt[best] = start + 1
+	} else {
+		p.freeAt[best] = start + latency
+	}
+	return start
+}
+
+// lsqEntry tracks an in-flight store for store-to-load forwarding.
+type lsqEntry struct {
+	addr  uint32
+	size  uint32
+	ready int64 // when the store's data is available for forwarding
+}
+
+// Core is one out-of-order core's timing scoreboard.
+type Core struct {
+	cfg Config
+	cpu *iss.CPU
+
+	icache *cache.Cache
+	l1d    *cache.Cache
+
+	pred *branch.Tournament
+	btb  *branch.BTB
+	ras  *branch.RAS
+
+	intReady [isa.NumRegs]int64
+	fpReady  [isa.NumRegs]int64
+
+	alu, muldiv, fp, mp *fuPool
+
+	retireAt    []int64 // ring buffer of the last ROBSize retire times
+	retireHead  int
+	issueTimes  []int64 // ring of the last IQSize issue times (IQ occupancy)
+	issueHead   int
+	lsqTimes    []int64 // ring of the last LSQSize retire times of mem ops
+	lsqHead     int
+	storeWindow []lsqEntry
+
+	fetchCycle  int64 // cycle the next fetch group begins
+	fetchInGrp  int   // instructions fetched in the current group
+	prevRetire  int64
+	retireInGrp int
+
+	now   int64
+	stats Stats
+}
+
+// newCore builds one core above the shared port.
+func newCore(cfg Config, m *mem.Memory, entry uint32, shared cache.Port) *Core {
+	c := &Core{
+		cfg:        cfg,
+		cpu:        iss.New(m, entry),
+		pred:       branch.NewTournament(cfg.PredictorBits),
+		btb:        branch.NewBTB(cfg.BTBBits),
+		ras:        branch.NewRAS(cfg.RASDepth),
+		alu:        newFUPool(cfg.IntALUs, true),
+		muldiv:     newFUPool(cfg.IntMulDiv, false),
+		fp:         newFUPool(cfg.FPUnits, true),
+		mp:         newFUPool(cfg.MemPorts, true),
+		retireAt:   make([]int64, cfg.ROBSize),
+		issueTimes: make([]int64, cfg.IQSize),
+		lsqTimes:   make([]int64, cfg.LSQSize),
+	}
+	c.icache = cache.New(cache.Config{
+		Name: "L1I", Size: cfg.L1ISize, LineSize: 64, Assoc: 4, Latency: 1,
+	}, shared)
+	c.l1d = cache.New(cache.Config{
+		Name: "L1D", Size: cfg.L1DSize, LineSize: 64, Assoc: 8, Latency: 2, Banks: 4,
+	}, shared)
+	return c
+}
+
+// CPU exposes the core's architectural state.
+func (c *Core) CPU() *iss.CPU { return c.cpu }
+
+// Stats returns this core's counters with cache snapshots.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Cycles = c.now
+	s.L1I = c.icache.Stats
+	s.L1D = c.l1d.Stats
+	return s
+}
+
+func (c *Core) latency(op isa.Op) int64 { return int64(op.Class().Latency()) }
+
+func (c *Core) pool(op isa.Op) *fuPool {
+	switch op.Class() {
+	case isa.ClassMul, isa.ClassDiv:
+		return c.muldiv
+	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv, isa.ClassFPSqrt, isa.ClassFMA:
+		return c.fp
+	case isa.ClassLoad, isa.ClassStore:
+		return c.mp
+	default:
+		return c.alu
+	}
+}
+
+// Run executes the core's thread to completion.
+func (c *Core) Run() error {
+	cfg := c.cfg
+	for !c.cpu.Halted && c.stats.Retired < cfg.MaxInstructions {
+		pc := c.cpu.PC
+		ex := c.cpu.Step()
+		if c.cpu.Err != nil {
+			return fmt.Errorf("ooo: %w", c.cpu.Err)
+		}
+		if c.cpu.Halted {
+			break
+		}
+		if ex.PC != pc {
+			// Precise interrupt: squash the window and refetch from the
+			// vector after the previous instruction commits.
+			c.fetchBubble(c.prevRetire + int64(cfg.FrontendDepth))
+			pc = ex.PC
+		}
+		in := ex.Inst
+
+		// ---- fetch ----
+		// Groups of FetchWidth per cycle along the (implicitly predicted)
+		// path; the I-cache is charged once per line.
+		if c.fetchInGrp >= cfg.FetchWidth {
+			c.fetchCycle++
+			c.fetchInGrp = 0
+		}
+		if pc&63 == 0 || c.fetchInGrp == 0 {
+			done := c.icache.Access(c.fetchCycle, pc, false)
+			if done-1 > c.fetchCycle {
+				c.fetchCycle = done - 1 // I-miss stalls the fetch group
+			}
+		}
+		c.fetchInGrp++
+		c.stats.FetchedInsts++
+		fetchDone := c.fetchCycle
+
+		// ---- rename/dispatch (frontend depth) with ROB/IQ/LSQ occupancy ----
+		dispatch := fetchDone + int64(cfg.FrontendDepth)
+		if oldest := c.retireAt[c.retireHead]; oldest > dispatch {
+			dispatch = oldest // ROB full: wait for the oldest to retire
+		}
+		if oldest := c.issueTimes[c.issueHead]; oldest > dispatch {
+			dispatch = oldest // IQ full
+		}
+		if in.Op.IsMem() {
+			if oldest := c.lsqTimes[c.lsqHead]; oldest > dispatch {
+				dispatch = oldest // LSQ full
+			}
+		}
+		c.stats.RenameOps++
+		c.stats.ROBWrites++
+
+		// ---- operand readiness ----
+		ready := dispatch
+		readOp := func(t int64) {
+			if t > ready {
+				ready = t
+			}
+			c.stats.RegReads++
+		}
+		if in.Op.ReadsRs1() {
+			if in.Op.FPRs1() {
+				readOp(c.fpReady[in.Rs1])
+			} else {
+				readOp(c.intReady[in.Rs1])
+			}
+		}
+		if in.Op.ReadsRs2() {
+			if in.Op.FPRs2() {
+				readOp(c.fpReady[in.Rs2])
+			} else {
+				readOp(c.intReady[in.Rs2])
+			}
+		}
+		if in.Op.ReadsRs3() {
+			readOp(c.fpReady[in.Rs3])
+		}
+
+		// ---- issue/execute ----
+		lat := c.latency(in.Op)
+		start := c.pool(in.Op).acquire(ready, lat)
+		c.stats.IQWakeups++
+		done := start + lat
+		c.stats.FUBusyCycles += lat
+		if in.Op.IsFP() {
+			c.stats.FPBusyCycles += lat
+		}
+
+		switch {
+		case in.Op.IsLoad():
+			c.stats.Loads++
+			c.stats.LSQSearches++
+			if fw, ok := c.forward(ex.MemAddr); ok {
+				c.stats.StoreForwards++
+				if fw+1 > done {
+					done = fw + 1
+				}
+			} else {
+				done = c.l1d.Access(start+1, ex.MemAddr, false)
+			}
+		case in.Op.IsStore():
+			c.stats.Stores++
+			c.pushStore(ex.MemAddr, done)
+		}
+
+		// ---- control flow resolution ----
+		if in.Op.IsControl() {
+			c.resolveControl(pc, ex, done)
+		}
+
+		// ---- commit ----
+		if c.retireInGrp >= cfg.CommitWidth {
+			c.prevRetire++
+			c.retireInGrp = 0
+		}
+		retire := done
+		if c.prevRetire > retire {
+			retire = c.prevRetire
+		}
+		c.prevRetire = retire
+		c.retireInGrp++
+		if in.Op.IsStore() {
+			// The store writes the cache at commit.
+			c.l1d.Access(retire, ex.MemAddr, true)
+		}
+		c.retireAt[c.retireHead] = retire
+		c.retireHead = (c.retireHead + 1) % cfg.ROBSize
+		c.issueTimes[c.issueHead] = start
+		c.issueHead = (c.issueHead + 1) % cfg.IQSize
+		if in.Op.IsMem() {
+			c.lsqTimes[c.lsqHead] = retire
+			c.lsqHead = (c.lsqHead + 1) % cfg.LSQSize
+		}
+		if retire > c.now {
+			c.now = retire
+		}
+
+		// ---- writeback ----
+		if in.Op.WritesRd() && (in.Rd != isa.Zero || in.Op.FPRd()) {
+			if in.Op.FPRd() {
+				c.fpReady[in.Rd] = done
+			} else {
+				c.intReady[in.Rd] = done
+			}
+			c.stats.RegWrites++
+		}
+		c.stats.Retired++
+	}
+	if !c.cpu.Halted && c.stats.Retired >= cfg.MaxInstructions {
+		return fmt.Errorf("ooo: instruction cap %d reached before halt", cfg.MaxInstructions)
+	}
+	return nil
+}
+
+// resolveControl models prediction and redirects for the branch/jump that
+// just executed (resolution time = done).
+func (c *Core) resolveControl(pc uint32, ex iss.Exec, done int64) {
+	in := ex.Inst
+	refill := int64(c.cfg.FrontendDepth)
+	mispredict := false
+
+	switch {
+	case in.Op.IsBranch():
+		c.stats.Branches++
+		predTaken := c.pred.Predict(pc)
+		c.pred.Update(pc, ex.Taken)
+		if predTaken != ex.Taken {
+			mispredict = true
+		} else if ex.Taken {
+			// Correct taken prediction still needs the target from the BTB.
+			if tgt, ok := c.btb.Lookup(pc); !ok || tgt != ex.NextPC {
+				c.stats.BTBMisses++
+				mispredict = true
+			}
+		}
+		c.btb.Insert(pc, ex.NextPC)
+	case in.Op == isa.OpJAL:
+		// Direct jump: target computable at decode; BTB miss costs the
+		// decode stages only.
+		if in.Rd == isa.RA {
+			c.ras.Push(pc + 4)
+		}
+		if _, ok := c.btb.Lookup(pc); !ok {
+			c.stats.BTBMisses++
+			c.fetchBubble(c.fetchCycle + 2)
+		}
+		c.btb.Insert(pc, ex.NextPC)
+	case in.Op == isa.OpJALR:
+		// Returns predicted by the RAS; other indirect jumps by the BTB.
+		predicted := uint32(0)
+		havePred := false
+		if in.Rs1 == isa.RA && in.Rd == isa.Zero {
+			if t, ok := c.ras.Pop(); ok {
+				predicted, havePred = t, true
+			}
+		} else if t, ok := c.btb.Lookup(pc); ok {
+			predicted, havePred = t, true
+		}
+		if in.Rd == isa.RA {
+			c.ras.Push(pc + 4)
+		}
+		if !havePred || predicted != ex.NextPC {
+			mispredict = true
+		}
+		c.btb.Insert(pc, ex.NextPC)
+	}
+
+	if mispredict {
+		c.stats.Mispredicts++
+		// Squash: the frontend restarts after resolution plus refill.
+		c.fetchBubble(done + refill)
+		// Wrong-path fetch energy estimate: the frontend ran from the
+		// branch's fetch until resolution.
+		c.stats.FetchedInsts += uint64(c.cfg.FetchWidth)
+	}
+}
+
+// fetchBubble pushes the next fetch group to at least cycle t.
+func (c *Core) fetchBubble(t int64) {
+	if t > c.fetchCycle {
+		c.fetchCycle = t
+		c.fetchInGrp = 0
+	}
+}
+
+// pushStore records an in-flight store for forwarding.
+func (c *Core) pushStore(addr uint32, ready int64) {
+	if len(c.storeWindow) >= c.cfg.LSQSize {
+		c.storeWindow = c.storeWindow[1:]
+	}
+	c.storeWindow = append(c.storeWindow, lsqEntry{addr: addr &^ 3, size: 4, ready: ready})
+}
+
+// forward searches the LSQ for a completed store to the same word.
+func (c *Core) forward(addr uint32) (int64, bool) {
+	a := addr &^ 3
+	for i := len(c.storeWindow) - 1; i >= 0; i-- {
+		if c.storeWindow[i].addr == a {
+			return c.storeWindow[i].ready, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,67 @@
+package ooo
+
+import (
+	"testing"
+
+	"diag/internal/testprog"
+)
+
+// TestFuzzBranchyProgramsMatchISS exercises the out-of-order timing
+// model with random structured programs: architectural state must equal
+// the golden ISS's regardless of speculation and squashing.
+func TestFuzzBranchyProgramsMatchISS(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		src := testprog.Generate(testprog.Options{Seed: seed})
+		img := build(t, src)
+		ref := issRun(t, img)
+		cfg := Baseline()
+		if seed%3 == 1 {
+			cfg.ROBSize = 32 // tiny window must still be correct
+		}
+		if seed%3 == 2 {
+			cfg.IssueWidth = 2
+			cfg.FetchWidth = 2
+			cfg.CommitWidth = 2
+		}
+		st, m := runOn(t, cfg, img)
+		for i := 0; i < 15; i++ {
+			addr := uint32(testprog.ScratchBase + 4*i)
+			if m.LoadWord(addr) != ref.Mem.LoadWord(addr) {
+				t.Fatalf("seed %d: x%d = %d, iss %d",
+					seed, i+1, m.LoadWord(addr), ref.Mem.LoadWord(addr))
+			}
+		}
+		if st.Retired != ref.Instret {
+			t.Fatalf("seed %d: retired %d, iss %d", seed, st.Retired, ref.Instret)
+		}
+	}
+}
+
+// TestFuzzNarrowMachineSlower: on the fuzz corpus, a 2-wide machine
+// never beats the 8-wide one.
+func TestFuzzNarrowMachineSlower(t *testing.T) {
+	for seed := int64(30); seed < 38; seed++ {
+		src := testprog.Generate(testprog.Options{Seed: seed, Blocks: 10})
+		img := build(t, src)
+		wide, _ := runOn(t, Baseline(), img)
+		narrow := Baseline()
+		narrow.IssueWidth = 1
+		narrow.FetchWidth = 1
+		narrow.CommitWidth = 1
+		nst, _ := runOn(t, narrow, img)
+		if nst.Cycles < wide.Cycles {
+			t.Errorf("seed %d: 1-wide (%d cycles) beat 8-wide (%d)", seed, nst.Cycles, wide.Cycles)
+		}
+	}
+}
+
+// TestIPCNeverExceedsIssueWidth: a structural invariant of the model.
+func TestIPCNeverExceedsIssueWidth(t *testing.T) {
+	for seed := int64(50); seed < 56; seed++ {
+		src := testprog.Generate(testprog.Options{Seed: seed, Blocks: 10})
+		st, _ := runOn(t, Baseline(), build(t, src))
+		if st.IPC() > float64(Baseline().IssueWidth) {
+			t.Errorf("seed %d: IPC %.2f exceeds issue width", seed, st.IPC())
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package ooo
+
+import (
+	"fmt"
+
+	"diag/internal/cache"
+	"diag/internal/isa"
+	"diag/internal/mem"
+)
+
+// Machine is the complete baseline: Cores out-of-order cores above a
+// shared L2 and DRAM. Multicore runs use the same convention as the DiAG
+// machine: each core's thread id is in tp (x4) and the thread count in
+// gp (x3).
+type Machine struct {
+	cfg   Config
+	mem   *mem.Memory
+	l2s   []*cache.Cache // per-core timing view of the shared L2 partition
+	dram  *cache.DRAM
+	cores []*Core
+	stats Stats
+}
+
+// NewMachine builds and loads a machine for img.
+func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := mem.New()
+	entry, err := img.Load(m)
+	if err != nil {
+		return nil, err
+	}
+	mach := &Machine{cfg: cfg, mem: m, dram: &cache.DRAM{Latency: cfg.DRAMLatency}}
+	for i := 0; i < cfg.Cores; i++ {
+		// Cores run on independent timelines; like the DiAG rings, each
+		// gets a private timing view of its share of the L2 capacity.
+		var shared cache.Port = mach.dram
+		size := cfg.L2Size
+		if cfg.Cores > 1 {
+			size = cache.RoundSize(maxInt(cfg.L2Size/cfg.Cores, 64<<10), 64, 8)
+		}
+		if size > 0 {
+			l2 := cache.New(cache.Config{
+				Name: "L2", Size: size, LineSize: 64, Assoc: 8, Latency: 12,
+			}, mach.dram)
+			mach.l2s = append(mach.l2s, l2)
+			shared = l2
+		}
+		core := newCore(cfg, m, entry, shared)
+		core.cpu.X[isa.TP] = uint32(i)
+		core.cpu.X[isa.GP] = uint32(cfg.Cores)
+		mach.cores = append(mach.cores, core)
+	}
+	return mach, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Mem returns the machine's memory.
+func (m *Machine) Mem() *mem.Memory { return m.mem }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Run executes every core to completion; see diag.Machine.Run for the
+// data-parallel soundness argument.
+func (m *Machine) Run() error {
+	m.stats = Stats{}
+	for i, c := range m.cores {
+		if err := c.Run(); err != nil {
+			return fmt.Errorf("core %d: %w", i, err)
+		}
+		m.stats.Merge(c.Stats())
+	}
+	for _, l2 := range m.l2s {
+		mergeCache(&m.stats.L2, l2.Stats)
+	}
+	m.stats.DRAMAccesses = m.dram.Accesses
+	return nil
+}
+
+// Stats returns aggregated statistics; valid after Run.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// RunImage builds a machine, runs it, and returns stats and final memory.
+func RunImage(cfg Config, img *mem.Image) (Stats, *mem.Memory, error) {
+	mach, err := NewMachine(cfg, img)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	if err := mach.Run(); err != nil {
+		return Stats{}, nil, err
+	}
+	return mach.Stats(), mach.Mem(), nil
+}

@@ -1,0 +1,104 @@
+package power
+
+import (
+	"fmt"
+
+	"diag/internal/diag"
+	"diag/internal/stats"
+)
+
+// AreaComponent is one row of the area/power breakdown (Table 3 shape).
+type AreaComponent struct {
+	Name      string
+	AreaUM2   float64 // µm²
+	PowerW    float64 // watts at full activity
+	Estimated bool    // paper marks TOP/PCLUSTER with '*' (not pure synthesis)
+}
+
+// AreaReport is the full hierarchical breakdown for one configuration.
+type AreaReport struct {
+	Config     diag.Config
+	Components []AreaComponent
+}
+
+// DiAGArea builds the hierarchical area/power breakdown for cfg, seeded
+// from the paper's synthesized component values (Table 3) and scaled by
+// the configuration's structure. The PCLUSTER and TOP rows are derived
+// (PEs + lanes + control overhead), matching the paper's '*' annotation.
+func DiAGArea(cfg diag.Config) AreaReport {
+	clusters := float64(cfg.Clusters * cfg.Rings)
+	pesPerCluster := float64(cfg.PEsPerCluster)
+
+	peArea, pePower := AreaPE, PowerPE
+	if cfg.ISA == diag.RV32I {
+		// Integer-only PEs drop the FPU.
+		peArea -= AreaFPU
+		pePower -= PowerFPU
+	}
+	sharedFPUArea, sharedFPUPower := 0.0, 0.0
+	if cfg.SharedFPUs > 0 && cfg.ISA != diag.RV32I {
+		// §7.5 resource sharing: PEs lose their private FPU; the cluster
+		// gains a small shared pool instead.
+		peArea -= AreaFPU
+		pePower -= PowerFPU
+		sharedFPUArea = float64(cfg.SharedFPUs) * AreaFPU
+		sharedFPUPower = float64(cfg.SharedFPUs) * PowerFPU
+	}
+
+	// Cluster = PEs + cluster-level control/LSU overhead (difference
+	// between the paper's PCLUSTER row and 16 PEs).
+	clusterOverheadArea := AreaCluster - 16*AreaPE
+	clusterOverheadPower := PowerCluster - 16*PowerPE
+	clusterArea := pesPerCluster*peArea + clusterOverheadArea + sharedFPUArea
+	clusterPower := pesPerCluster*pePower + clusterOverheadPower + sharedFPUPower
+
+	// Top = clusters + the uncore slice the paper folds into TOP
+	// (interconnect, ring control; from Table 3: 93.07 mm² vs 32
+	// clusters at 2.208 mm²).
+	uncoreArea := AreaTopF4C32 - 32*AreaCluster
+	uncorePower := PowerTop - 32*PowerCluster
+	topArea := clusters*clusterArea + uncoreArea*clusters/32
+	topPower := clusters*clusterPower + uncorePower*clusters/32
+
+	return AreaReport{
+		Config: cfg,
+		Components: []AreaComponent{
+			{Name: fmt.Sprintf("%s (TOP)", cfg.Name), AreaUM2: topArea, PowerW: topPower, Estimated: true},
+			{Name: "PCLUSTER", AreaUM2: clusterArea, PowerW: clusterPower, Estimated: true},
+			{Name: "PE (w/ FPU)", AreaUM2: peArea, PowerW: pePower},
+			{Name: "REGLANE", AreaUM2: AreaRegLane, PowerW: PowerRegLane},
+			{Name: "INT ALU", AreaUM2: AreaIntALU, PowerW: PowerIntALU},
+			{Name: "FPU (MUL / DIV)", AreaUM2: AreaFPU, PowerW: PowerFPU},
+			{Name: "RV_DECODER", AreaUM2: AreaDecoder, PowerW: PowerDecoder},
+		},
+	}
+}
+
+// Table renders the report in the paper's Table 3 format.
+func (r AreaReport) Table() *stats.Table {
+	t := stats.NewTable(
+		"Table 3: Hardware area and power breakdown by component ('*' = derived estimate)",
+		"Component Name", "Hardware Area", "Total Power")
+	for _, c := range r.Components {
+		star := ""
+		if c.Estimated {
+			star = "*"
+		}
+		t.AddRow(c.Name, formatArea(c.AreaUM2)+star, formatPower(c.PowerW)+star)
+	}
+	return t
+}
+
+func formatArea(um2 float64) string {
+	if um2 >= 1e6 {
+		return fmt.Sprintf("%.3f mm^2", um2/1e6)
+	}
+	return fmt.Sprintf("%.1f um^2", um2)
+}
+
+func formatPower(w float64) string {
+	if w >= 1 {
+		return fmt.Sprintf("%.2f W", w)
+	}
+	return fmt.Sprintf("%.3f mW", w*1e3)
+}

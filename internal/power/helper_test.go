@@ -1,0 +1,49 @@
+package power
+
+import (
+	"testing"
+
+	"diag/internal/asm"
+	"diag/internal/mem"
+)
+
+// buildVecFMA assembles a small FP-heavy kernel used by the end-to-end
+// energy shape test.
+func buildVecFMA(t testing.TB) *mem.Image {
+	t.Helper()
+	src := `
+	li   s0, 0x100000
+	li   t4, 0
+	li   t5, 16          # passes: amortize cold misses, as a real kernel
+	fcvt.s.w fa0, zero
+	li   t2, 3
+	fcvt.s.w fa1, t2
+pass:
+	li   t0, 0
+	li   t1, 512
+loop:
+	slli t3, t0, 2
+	add  t3, t3, s0
+	flw  fa2, 0(t3)
+	fmadd.s fa0, fa1, fa2, fa0
+	fmul.s  fa3, fa2, fa2
+	fmadd.s fa3, fa3, fa1, fa2
+	fmul.s  fa3, fa3, fa1
+	fsw  fa3, 0(t3)
+	addi t0, t0, 1
+	blt  t0, t1, loop
+	addi t4, t4, 1
+	blt  t4, t5, pass
+	ebreak
+	`
+	img, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4*512)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	img.Segments = append(img.Segments, mem.Segment{Addr: 0x100000, Data: data})
+	return img
+}

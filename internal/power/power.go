@@ -1,0 +1,226 @@
+// Package power converts the activity counters recorded by the machine
+// models into energy and area estimates, replacing the paper's
+// Synopsys + CACTI + McPAT flow (§6.1, §7.1):
+//
+//   - DiAG component powers are seeded from the paper's own synthesis
+//     results (Table 3, FreePDK 45 nm, 1.0 GHz): per-PE, register-lane,
+//     integer-ALU, FPU and decoder power, and cluster/top overheads;
+//   - cache energy comes from a small CACTI-like geometry model
+//     (per-access energy and leakage scale with capacity);
+//   - the out-of-order baseline uses McPAT-style per-event energies for
+//     its frontend structures (fetch, rename, issue queue, ROB, regfile,
+//     bypass, LSQ), which is precisely the overhead DiAG eliminates.
+//
+// The energy accounting follows the paper's method (§6.1.3, §7.3.1): the
+// FPU is clock-gated and burns dynamic power only while executing;
+// register lanes (including integer ALUs), memory structures, and control
+// are always powered while the machine runs.
+package power
+
+import (
+	"math"
+
+	"diag/internal/diag"
+	"diag/internal/ooo"
+)
+
+// Table 3 component powers (watts) and areas (µm²), 45 nm @ 1.0 GHz.
+const (
+	// Areas.
+	AreaPE       = 97014.0 // PE including FPU
+	AreaRegLane  = 15731.0 // per-PE register-lane segment
+	AreaIntALU   = 1375.4
+	AreaFPU      = 66592.0
+	AreaDecoder  = 244.6
+	AreaCluster  = 2.208e6 // PCLUSTER
+	AreaTopF4C32 = 93.07e6 // F4C32 total (for cross-checking)
+
+	// Powers (total = dynamic at full activity + leakage).
+	PowerPE      = 120.4e-3
+	PowerRegLane = 3.063e-3
+	PowerIntALU  = 0.774e-3
+	PowerFPU     = 105.2e-3
+	PowerDecoder = 0.019e-3
+	PowerCluster = 2.104 // full cluster, all PEs on
+	PowerTop     = 74.30 // F4C32, all on
+
+	// LeakFraction is the fraction of a clock-gated component's power
+	// that still leaks when idle (§7.3.1: the gated FP unit "consumes
+	// very little leakage power").
+	LeakFraction = 0.05
+)
+
+// Breakdown is energy by hardware component in joules, matching the
+// categories of the paper's Figure 11.
+type Breakdown struct {
+	FP      float64 // floating-point units
+	Lanes   float64 // register lanes + integer ALUs (+ decoders)
+	Memory  float64 // memory lanes, LSUs, caches, DRAM
+	Control float64 // everything else: cluster/ring control, frontend
+}
+
+// Total returns the summed energy in joules.
+func (b Breakdown) Total() float64 { return b.FP + b.Lanes + b.Memory + b.Control }
+
+// Share returns each component as a fraction of the total, in the order
+// FP, Lanes, Memory, Control.
+func (b Breakdown) Share() [4]float64 {
+	t := b.Total()
+	if t == 0 {
+		return [4]float64{}
+	}
+	return [4]float64{b.FP / t, b.Lanes / t, b.Memory / t, b.Control / t}
+}
+
+// CacheAccessEnergy returns the per-access energy (joules) of an SRAM of
+// the given capacity — a CACTI-like fit: energy grows roughly with the
+// square root of capacity (bitline/wordline length).
+func CacheAccessEnergy(sizeBytes int) float64 {
+	if sizeBytes <= 0 {
+		return 0
+	}
+	// Anchored at ~0.10 nJ for 32 KB (typical 45 nm L1 read).
+	return 0.10e-9 * math.Sqrt(float64(sizeBytes)/(32<<10))
+}
+
+// CacheLeakagePower returns the leakage power (watts) of an SRAM of the
+// given capacity: ~1 mW per 32 KB at 45 nm.
+func CacheLeakagePower(sizeBytes int) float64 {
+	return 1e-3 * float64(sizeBytes) / (32 << 10)
+}
+
+// DRAMAccessEnergy is the energy of one DRAM line transfer (joules).
+const DRAMAccessEnergy = 15e-9
+
+// DiAGEnergy estimates the energy of a DiAG run from its statistics.
+//
+// Statics follow the paper's accounting (§7.1): dormant clusters are
+// dark silicon — only clusters holding an active datapath burn
+// register-lane / ALU / control static power (the ClusterCycles
+// integral), and clock-gated FP units leak only in those clusters.
+func DiAGEnergy(cfg diag.Config, st diag.Stats) Breakdown {
+	tc := 1.0 / (float64(cfg.FreqMHz) * 1e6) // seconds per cycle
+	cycles := float64(st.Cycles)
+	pesPerCluster := float64(cfg.PEsPerCluster)
+	activePEs := float64(st.ClusterCycles) * pesPerCluster // PE-cycles in active clusters
+
+	var b Breakdown
+
+	// FP units: clock-gated; dynamic while busy plus leakage in active
+	// clusters (§7.3.1: the gated FPU "consumes very little leakage").
+	// With shared cluster FPUs (§7.5) only the pool leaks.
+	fpusPerPE := 1.0
+	if cfg.SharedFPUs > 0 {
+		fpusPerPE = float64(cfg.SharedFPUs) / pesPerCluster
+	}
+	b.FP = float64(st.FPUBusyCycles)*PowerFPU*tc +
+		activePEs*fpusPerPE*PowerFPU*LeakFraction*tc
+
+	// Register lanes + integer ALUs + decoders: always powered within
+	// active clusters (§7.3.1), plus the non-FPU dynamic share of
+	// executing PEs.
+	perPEStatic := PowerRegLane + PowerIntALU + PowerDecoder
+	peDynamic := PowerPE - PowerFPU - perPEStatic
+	if peDynamic < 0 {
+		peDynamic = 0
+	}
+	b.Lanes = activePEs*perPEStatic*tc +
+		float64(st.PEBusyCycles-st.FPUBusyCycles)*peDynamic*tc
+
+	// The per-cluster overhead beyond its PEs (Table 3: PCLUSTER minus
+	// 16 PEs) is the cluster's LSU + memory lanes + control; split it
+	// between the memory and control categories.
+	clusterOverhead := PowerCluster - 16*PowerPE
+	if clusterOverhead < 0 {
+		clusterOverhead = 0
+	}
+	const memShare = 0.6 // LSU + memory lanes slice of the overhead
+
+	// Memory: cache accesses and leakage at every level, plus DRAM and
+	// the cluster LSU static slice.
+	b.Memory = float64(st.MemLanes.Accesses)*CacheAccessEnergy(cfg.MemLaneLines*64) +
+		float64(st.L1I.Accesses)*CacheAccessEnergy(cfg.L1ISize) +
+		float64(st.L1D.Accesses)*CacheAccessEnergy(cfg.L1DSize) +
+		float64(st.L2.Accesses)*CacheAccessEnergy(cfg.L2Size) +
+		float64(st.DRAMAccesses)*DRAMAccessEnergy +
+		float64(st.ClusterCycles)*clusterOverhead*memShare*tc +
+		cycles*tc*(CacheLeakagePower(cfg.L1ISize)+CacheLeakagePower(cfg.L1DSize)+
+			CacheLeakagePower(cfg.L2Size))*float64(cfg.Rings)
+
+	// Control: cluster control slice plus the ring control unit and bus.
+	ringCtrl := 0.2 // W per ring control unit + bus drivers
+	b.Control = float64(st.ClusterCycles)*clusterOverhead*(1-memShare)*tc +
+		cycles*tc*ringCtrl*float64(cfg.Rings)
+	return b
+}
+
+// McPAT-like per-event energies for the out-of-order baseline (joules).
+// These are the classic frontend structures whose elimination is DiAG's
+// thesis (§4: RAT, ROB, reservation stations dominate per-instruction
+// energy). Values are 45 nm-plausible per-event energies for an
+// aggressive 8-wide core.
+const (
+	EnergyFetch     = 45e-12 // fetch + predecode per instruction
+	EnergyDecode    = 25e-12
+	EnergyRename    = 70e-12 // RAT read/write ports at 8-wide
+	EnergyIQWakeup  = 90e-12 // wakeup + select across a 96-entry IQ
+	EnergyRegRead   = 25e-12 // large multiported physical RF
+	EnergyRegWrite  = 35e-12
+	EnergyROB       = 45e-12 // dispatch write + commit read
+	EnergyBypass    = 20e-12 // result broadcast across 8-wide bypass
+	EnergyLSQSearch = 40e-12 // CAM search
+	EnergyIntOp     = 10e-12 // the actual computation
+	EnergyFPOp      = 90e-12
+	// Static power of one core's logic (W), excluding caches.
+	CoreLeakage = 1.1
+)
+
+// OoOEnergy estimates the energy of a baseline run from its statistics,
+// assuming the same clock as the DiAG machine it is compared against.
+func OoOEnergy(cfg ooo.Config, st ooo.Stats, freqMHz int) Breakdown {
+	tc := 1.0 / (float64(freqMHz) * 1e6)
+	cycles := float64(st.Cycles)
+
+	var b Breakdown
+	retired := float64(st.Retired)
+
+	// FP: execution energy of FP operations plus idle leakage of the
+	// per-core FP pools.
+	b.FP = float64(st.FPBusyCycles)*EnergyFPOp +
+		cycles*float64(cfg.Cores)*PowerFPU*float64(cfg.FPUnits)*LeakFraction*tc
+
+	// "Lanes" for the baseline = regfile + bypass + functional units:
+	// the datapath outside the control structures.
+	b.Lanes = float64(st.RegReads)*EnergyRegRead +
+		float64(st.RegWrites)*EnergyRegWrite +
+		retired*EnergyBypass +
+		float64(st.FUBusyCycles-st.FPBusyCycles)*EnergyIntOp
+
+	// Memory: caches and DRAM, as for DiAG.
+	b.Memory = float64(st.L1I.Accesses)*CacheAccessEnergy(cfg.L1ISize) +
+		float64(st.L1D.Accesses)*CacheAccessEnergy(cfg.L1DSize) +
+		float64(st.L2.Accesses)*CacheAccessEnergy(cfg.L2Size) +
+		float64(st.DRAMAccesses)*DRAMAccessEnergy +
+		float64(st.LSQSearches)*EnergyLSQSearch +
+		cycles*tc*(CacheLeakagePower(cfg.L1ISize)+CacheLeakagePower(cfg.L1DSize)+
+			CacheLeakagePower(cfg.L2Size))*float64(cfg.Cores)
+
+	// Control: the out-of-order frontend — what DiAG exists to remove.
+	b.Control = float64(st.FetchedInsts)*(EnergyFetch+EnergyDecode) +
+		float64(st.RenameOps)*EnergyRename +
+		float64(st.IQWakeups)*EnergyIQWakeup +
+		float64(st.ROBWrites)*EnergyROB +
+		cycles*float64(cfg.Cores)*CoreLeakage*tc
+	return b
+}
+
+// Efficiency returns relative energy efficiency: baseline energy divided
+// by diag energy (>1 means DiAG is more efficient), the measure of the
+// paper's Figure 12.
+func Efficiency(diagE, baseE Breakdown) float64 {
+	d := diagE.Total()
+	if d == 0 {
+		return 0
+	}
+	return baseE.Total() / d
+}

@@ -1,0 +1,218 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"diag/internal/cache"
+	"diag/internal/diag"
+	"diag/internal/ooo"
+)
+
+func TestCacheModelMonotonic(t *testing.T) {
+	if CacheAccessEnergy(64<<10) <= CacheAccessEnergy(32<<10) {
+		t.Error("access energy must grow with capacity")
+	}
+	if CacheLeakagePower(4<<20) <= CacheLeakagePower(32<<10) {
+		t.Error("leakage must grow with capacity")
+	}
+	if CacheAccessEnergy(0) != 0 {
+		t.Error("zero-size cache has no energy")
+	}
+	// Anchor: 32 KB ~ 0.1 nJ.
+	if e := CacheAccessEnergy(32 << 10); math.Abs(e-0.1e-9) > 1e-12 {
+		t.Errorf("32KB anchor = %v", e)
+	}
+}
+
+func TestBreakdownShares(t *testing.T) {
+	b := Breakdown{FP: 1, Lanes: 1, Memory: 1, Control: 1}
+	if b.Total() != 4 {
+		t.Error("total wrong")
+	}
+	sh := b.Share()
+	for _, s := range sh {
+		if s != 0.25 {
+			t.Errorf("share %v", sh)
+		}
+	}
+	var zero Breakdown
+	if zero.Share() != [4]float64{} {
+		t.Error("zero breakdown share should be zeros")
+	}
+}
+
+func synthDiagStats(cycles int64) diag.Stats {
+	return diag.Stats{
+		Cycles:        cycles,
+		Retired:       uint64(cycles) * 2,
+		ClusterCycles: cycles * 2,
+		PEBusyCycles:  cycles * 2,
+		FPUBusyCycles: cycles / 2,
+		L1D:           cache.Stats{Accesses: uint64(cycles / 4)},
+		L1I:           cache.Stats{Accesses: uint64(cycles / 16)},
+		DRAMAccesses:  uint64(cycles / 100),
+	}
+}
+
+func TestDiAGEnergyScalesWithCycles(t *testing.T) {
+	cfg := diag.F4C32()
+	e1 := DiAGEnergy(cfg, synthDiagStats(10_000))
+	e2 := DiAGEnergy(cfg, synthDiagStats(20_000))
+	if e2.Total() <= e1.Total() {
+		t.Error("energy must grow with cycles")
+	}
+	ratio := e2.Total() / e1.Total()
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("doubling work should roughly double energy, ratio %.2f", ratio)
+	}
+}
+
+func TestDiAGFPGatedWhenUnused(t *testing.T) {
+	cfg := diag.F4C32()
+	st := synthDiagStats(10_000)
+	st.FPUBusyCycles = 0
+	eIdle := DiAGEnergy(cfg, st)
+	st.FPUBusyCycles = st.PEBusyCycles
+	eBusy := DiAGEnergy(cfg, st)
+	if eBusy.FP <= eIdle.FP {
+		t.Error("FP energy should grow with FPU activity")
+	}
+	// Leakage only when gated: must be well below always-on power.
+	alwaysOn := float64(st.ClusterCycles) * float64(cfg.PEsPerCluster) * PowerFPU / (float64(cfg.FreqMHz) * 1e6)
+	if eIdle.FP >= alwaysOn/2 {
+		t.Errorf("gated FP leakage %.3g too close to always-on %.3g", eIdle.FP, alwaysOn)
+	}
+}
+
+func synthOoOStats(cycles int64) ooo.Stats {
+	n := uint64(cycles) * 2
+	return ooo.Stats{
+		Cycles: cycles, Retired: n,
+		FetchedInsts: n + n/10, RenameOps: n, IQWakeups: n,
+		RegReads: 2 * n, RegWrites: n, ROBWrites: n,
+		FUBusyCycles: int64(n), FPBusyCycles: int64(n / 4),
+		L1D: cache.Stats{Accesses: n / 4}, L1I: cache.Stats{Accesses: n / 8},
+		DRAMAccesses: n / 200,
+	}
+}
+
+func TestOoOControlDominatesCompute(t *testing.T) {
+	// The paper's premise (§1, §4): frontend control structures consume
+	// far more than the functional units on an aggressive OoO core.
+	e := OoOEnergy(ooo.Baseline(), synthOoOStats(100_000), 2000)
+	if e.Control <= e.Lanes {
+		t.Errorf("OoO control (%.3g J) should exceed datapath (%.3g J)", e.Control, e.Lanes)
+	}
+}
+
+func TestEfficiencyRatio(t *testing.T) {
+	d := Breakdown{Lanes: 1}
+	b := Breakdown{Control: 2}
+	if Efficiency(d, b) != 2 {
+		t.Error("efficiency ratio wrong")
+	}
+	if Efficiency(Breakdown{}, b) != 0 {
+		t.Error("zero diag energy should return 0")
+	}
+}
+
+func TestAreaReportMatchesTable3(t *testing.T) {
+	r := DiAGArea(diag.F4C32())
+	byName := map[string]AreaComponent{}
+	for _, c := range r.Components {
+		byName[c.Name] = c
+	}
+	top := byName["F4C32 (TOP)"]
+	if math.Abs(top.AreaUM2-AreaTopF4C32)/AreaTopF4C32 > 0.01 {
+		t.Errorf("F4C32 top area %.2f mm^2, paper 93.07", top.AreaUM2/1e6)
+	}
+	if math.Abs(top.PowerW-PowerTop)/PowerTop > 0.01 {
+		t.Errorf("F4C32 top power %.2f W, paper 74.30", top.PowerW)
+	}
+	cl := byName["PCLUSTER"]
+	if math.Abs(cl.AreaUM2-AreaCluster)/AreaCluster > 0.01 {
+		t.Errorf("cluster area %.3f mm^2, paper 2.208", cl.AreaUM2/1e6)
+	}
+	pe := byName["PE (w/ FPU)"]
+	if pe.AreaUM2 != AreaPE || pe.PowerW != PowerPE {
+		t.Error("PE row must match Table 3 exactly")
+	}
+}
+
+func TestAreaScalesWithClusters(t *testing.T) {
+	small := DiAGArea(diag.F4C2())
+	large := DiAGArea(diag.F4C32())
+	if large.Components[0].AreaUM2 <= small.Components[0].AreaUM2*8 {
+		t.Error("32-cluster machine should be much larger than 2-cluster")
+	}
+}
+
+func TestIntegerOnlyConfigSmaller(t *testing.T) {
+	intOnly := DiAGArea(diag.I4C2())
+	fp := DiAGArea(diag.F4C2())
+	if intOnly.Components[2].AreaUM2 >= fp.Components[2].AreaUM2 {
+		t.Error("RV32I PE should be smaller (no FPU)")
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	out := DiAGArea(diag.F4C32()).Table().String()
+	for _, frag := range []string{"PCLUSTER", "REGLANE", "INT ALU", "FPU", "RV_DECODER", "mm^2", "mW"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table missing %q:\n%s", frag, out)
+		}
+	}
+	// Derived rows carry the '*' marker like the paper.
+	if !strings.Contains(out, "*") {
+		t.Error("derived rows should be starred")
+	}
+}
+
+// End-to-end: a real compute-heavy run should spend a meaningful share
+// of DiAG energy in the datapath (paper §7.3.1: "close to half ... on
+// the functional units" for compute-heavy benchmarks).
+func TestEndToEndEnergyShape(t *testing.T) {
+	img := buildVecFMA(t)
+	st, _, err := diag.RunImage(diag.F4C16(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := DiAGEnergy(diag.F4C16(), st)
+	sh := e.Share()
+	if sh[0]+sh[1] < 0.25 {
+		t.Errorf("compute kernel should spend substantial energy on FP+lanes: %v", sh)
+	}
+	if e.Total() <= 0 {
+		t.Error("no energy recorded")
+	}
+}
+
+func TestSharedFPUShrinksArea(t *testing.T) {
+	full := DiAGArea(diag.F4C32())
+	cfg := diag.F4C32()
+	cfg.SharedFPUs = 2
+	shared := DiAGArea(cfg)
+	if shared.Components[1].AreaUM2 >= full.Components[1].AreaUM2 {
+		t.Errorf("shared-FPU cluster (%.0f um2) should be smaller than full (%.0f um2)",
+			shared.Components[1].AreaUM2, full.Components[1].AreaUM2)
+	}
+	// The FPU is 68% of a PE (paper §6.1.1): sharing 2 per 16 PEs should
+	// cut cluster area by more than a third.
+	if shared.Components[1].AreaUM2 > 0.67*full.Components[1].AreaUM2 {
+		t.Errorf("area reduction too small: %.2f of full",
+			shared.Components[1].AreaUM2/full.Components[1].AreaUM2)
+	}
+}
+
+func TestSharedFPULeaksLess(t *testing.T) {
+	st := synthDiagStats(10_000)
+	full := DiAGEnergy(diag.F4C32(), st)
+	cfg := diag.F4C32()
+	cfg.SharedFPUs = 2
+	shared := DiAGEnergy(cfg, st)
+	if shared.FP >= full.FP {
+		t.Error("shared FPUs should leak less than per-PE FPUs")
+	}
+}

@@ -1,0 +1,184 @@
+// Package stats provides the small numeric and formatting helpers the
+// benchmark harness uses to aggregate and render results: geometric and
+// arithmetic means, rate helpers, histograms, and a fixed-width text
+// table writer (the repo's equivalent of the paper's figure plots).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values
+// (relative-performance ratios are always positive). Returns 0 for an
+// empty input.
+func GeoMean(xs []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Ratio returns a/b, or 0 when b == 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Histogram accumulates named counts and reports shares.
+type Histogram struct {
+	names  []string
+	counts map[string]uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[string]uint64)}
+}
+
+// Add increments the bucket by n, creating it on first touch.
+func (h *Histogram) Add(name string, n uint64) {
+	if _, ok := h.counts[name]; !ok {
+		h.names = append(h.names, name)
+	}
+	h.counts[name] += n
+}
+
+// Count returns the bucket's value.
+func (h *Histogram) Count(name string) uint64 { return h.counts[name] }
+
+// Total returns the sum over all buckets.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, c := range h.counts {
+		t += c
+	}
+	return t
+}
+
+// Share returns the bucket's fraction of the total, or 0 if empty.
+func (h *Histogram) Share(name string) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.counts[name]) / float64(t)
+}
+
+// Names returns bucket names in insertion order.
+func (h *Histogram) Names() []string { return append([]string(nil), h.names...) }
+
+// Table renders fixed-width text tables. Build with AddRow, then String.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	numeric []bool // per column, right-align
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, short
+// rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values; float64 cells are rendered
+// with two decimals and right-aligned, integers with commas omitted.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		case float32:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// SortRowsBy sorts rows by the given column (string compare).
+func (t *Table) SortRowsBy(col int) {
+	if col < 0 || col >= len(t.header) {
+		return
+	}
+	sort.SliceStable(t.rows, func(i, j int) bool { return t.rows[i][col] < t.rows[j][col] })
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Errorf("geomean of non-positives = %v", g)
+	}
+	if g := GeoMean([]float64{5}); math.Abs(g-5) > 1e-12 {
+		t.Errorf("geomean(5) = %v", g)
+	}
+}
+
+// Property: geomean of a two-element set lies between min and max.
+func TestGeoMeanBoundsQuick(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a)+0.001, math.Abs(b)+0.001
+		if math.IsInf(a, 0) || math.IsInf(b, 0) || a > 1e100 || b > 1e100 {
+			return true // extreme magnitudes lose the comparison's precision
+		}
+		g := GeoMean([]float64{a, b})
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return g >= lo*0.999999 && g <= hi*1.000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndRatio(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Error("ratio wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add("mem", 70)
+	h.Add("ctrl", 20)
+	h.Add("other", 10)
+	h.Add("mem", 30) // accumulate
+	if h.Total() != 130 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Count("mem") != 100 {
+		t.Errorf("mem = %d", h.Count("mem"))
+	}
+	if got := h.Share("ctrl"); math.Abs(got-20.0/130) > 1e-12 {
+		t.Errorf("share = %v", got)
+	}
+	names := h.Names()
+	if len(names) != 3 || names[0] != "mem" || names[2] != "other" {
+		t.Errorf("names order: %v", names)
+	}
+	empty := NewHistogram()
+	if empty.Share("x") != 0 {
+		t.Error("empty histogram share should be 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Results", "bench", "speedup")
+	tb.AddRowf("hotspot", 1.25)
+	tb.AddRowf("bfs", 0.75)
+	out := tb.String()
+	if !strings.Contains(out, "Results") || !strings.Contains(out, "hotspot") {
+		t.Errorf("table output:\n%s", out)
+	}
+	if !strings.Contains(out, "1.25") {
+		t.Error("float formatting missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("1")                // short row padded
+	tb.AddRow("1", "2", "3", "4") // long row truncated
+	out := tb.String()
+	if strings.Contains(out, "4") {
+		t.Error("extra cell should be dropped")
+	}
+}
+
+func TestTableSort(t *testing.T) {
+	tb := NewTable("", "name", "v")
+	tb.AddRow("zeta", "1")
+	tb.AddRow("alpha", "2")
+	tb.SortRowsBy(0)
+	out := tb.String()
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Error("sort failed")
+	}
+	tb.SortRowsBy(99) // out of range: no-op, no panic
+}

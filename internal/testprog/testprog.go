@@ -1,0 +1,117 @@
+// Package testprog generates random but well-structured RV32IM programs
+// for differential testing: the timing machines (internal/diag,
+// internal/ooo) must produce exactly the architectural state of the
+// golden ISS on any program, so we fuzz them with programs containing
+// forward branches, bounded loops, memory traffic, and mixed arithmetic
+// — all terminating by construction.
+package testprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Options bounds the generated program.
+type Options struct {
+	Blocks   int // number of code blocks (default 8)
+	BlockLen int // ALU ops per block (default 6)
+	MaxLoop  int // max iterations of generated loops (default 9)
+	Seed     int64
+}
+
+func (o *Options) defaults() {
+	if o.Blocks == 0 {
+		o.Blocks = 8
+	}
+	if o.BlockLen == 0 {
+		o.BlockLen = 6
+	}
+	if o.MaxLoop == 0 {
+		o.MaxLoop = 9
+	}
+}
+
+// ScratchBase is where generated programs spill registers for
+// comparison; the caller checks words [ScratchBase, ScratchBase+15*4).
+const ScratchBase = 0x400
+
+// Generate returns the assembly text of a random terminating program.
+// Registers x1..x15 hold data; x16..x19 (a6, a7, s2, s3) are loop
+// counters and address temporaries; the final block stores x1..x15 to
+// ScratchBase for state comparison.
+func Generate(o Options) string {
+	o.defaults()
+	r := rand.New(rand.NewSource(o.Seed))
+	var b strings.Builder
+
+	// Initialize data registers.
+	for i := 1; i <= 15; i++ {
+		fmt.Fprintf(&b, "\tli x%d, %d\n", i, r.Intn(100000)-50000)
+	}
+
+	ops := []string{"add", "sub", "and", "or", "xor", "sll", "srl", "sra", "mul", "slt", "sltu"}
+	reg := func() int { return 1 + r.Intn(15) }
+
+	emitALU := func() {
+		op := ops[r.Intn(len(ops))]
+		switch op {
+		case "sll", "srl", "sra":
+			// Bound shift amounts through an immediate mask first.
+			fmt.Fprintf(&b, "\tandi x16, x%d, 31\n", reg())
+			fmt.Fprintf(&b, "\t%s x%d, x%d, x16\n", op, reg(), reg())
+		default:
+			fmt.Fprintf(&b, "\t%s x%d, x%d, x%d\n", op, reg(), reg(), reg())
+		}
+	}
+
+	emitMem := func(blk int) {
+		// Store then load within the private scratch page at 0x800.
+		slot := r.Intn(32)
+		fmt.Fprintf(&b, "\tli x17, %d\n", 0x800+4*slot)
+		fmt.Fprintf(&b, "\tsw x%d, 0(x17)\n", reg())
+		fmt.Fprintf(&b, "\tlw x%d, 0(x17)\n", reg())
+		_ = blk
+	}
+
+	for blk := 0; blk < o.Blocks; blk++ {
+		fmt.Fprintf(&b, "blk%d:\n", blk)
+		kind := r.Intn(4)
+		switch kind {
+		case 0: // plain block
+			for i := 0; i < o.BlockLen; i++ {
+				emitALU()
+			}
+		case 1: // forward branch over half the block
+			for i := 0; i < o.BlockLen/2; i++ {
+				emitALU()
+			}
+			cond := []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}[r.Intn(6)]
+			fmt.Fprintf(&b, "\t%s x%d, x%d, blk%d_skip\n", cond, reg(), reg(), blk)
+			for i := 0; i < o.BlockLen/2; i++ {
+				emitALU()
+			}
+			fmt.Fprintf(&b, "blk%d_skip:\n", blk)
+		case 2: // bounded loop
+			iters := 1 + r.Intn(o.MaxLoop)
+			fmt.Fprintf(&b, "\tli x18, 0\n\tli x19, %d\n", iters)
+			fmt.Fprintf(&b, "blk%d_loop:\n", blk)
+			for i := 0; i < o.BlockLen/2+1; i++ {
+				emitALU()
+			}
+			fmt.Fprintf(&b, "\taddi x18, x18, 1\n\tblt x18, x19, blk%d_loop\n", blk)
+		case 3: // memory traffic
+			for i := 0; i < o.BlockLen/2; i++ {
+				emitMem(blk)
+				emitALU()
+			}
+		}
+	}
+
+	// Spill for comparison.
+	for i := 1; i <= 15; i++ {
+		fmt.Fprintf(&b, "\tsw x%d, %d(zero)\n", i, ScratchBase+4*(i-1))
+	}
+	b.WriteString("\tebreak\n")
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"diag/internal/asm"
+	"diag/internal/diag"
+	"diag/internal/isa"
+	"diag/internal/iss"
+	"diag/internal/mem"
+)
+
+func runTraced(t *testing.T, src string, n int) *Recorder {
+	t.Helper()
+	img, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	entry, err := img.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := iss.New(m, entry)
+	rec := NewRecorder(n)
+	c.Hook = rec.Record
+	c.Run(100000)
+	if c.Err != nil {
+		t.Fatal(c.Err)
+	}
+	return rec
+}
+
+const loopSrc = `
+	li   t0, 0
+	li   t1, 10
+loop:
+	addi t0, t0, 1
+	sw   t0, 0x100(zero)
+	blt  t0, t1, loop
+	ebreak
+`
+
+func TestRecorderCountsAndMix(t *testing.T) {
+	rec := runTraced(t, loopSrc, 100)
+	if rec.Total() != 2+3*10 {
+		t.Errorf("total = %d", rec.Total())
+	}
+	if rec.ClassCount(isa.ClassStore) != 10 {
+		t.Errorf("stores = %d", rec.ClassCount(isa.ClassStore))
+	}
+	if rec.ClassCount(isa.ClassBranch) != 10 {
+		t.Errorf("branches = %d", rec.ClassCount(isa.ClassBranch))
+	}
+	// 9 of 10 loop branches taken.
+	if got := rec.TakenRate(); got != 0.9 {
+		t.Errorf("taken rate = %v", got)
+	}
+}
+
+func TestRingBufferKeepsTail(t *testing.T) {
+	rec := runTraced(t, loopSrc, 4)
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	// Last retained event is the final untaken branch.
+	last := evs[len(evs)-1]
+	if !last.Inst.Op.IsBranch() || last.Taken {
+		t.Errorf("last event = %+v", last)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	rec := runTraced(t, loopSrc, 100)
+	out := rec.Format()
+	if !strings.Contains(out, "sw t0, 256(zero)") || !strings.Contains(out, "@ 00000100") {
+		t.Errorf("format missing memory annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "-> ") {
+		t.Error("format missing taken-branch annotation")
+	}
+	mix := rec.MixSummary()
+	for _, frag := range []string{"int ALU", "store", "branch", "taken rate"} {
+		if !strings.Contains(mix, frag) {
+			t.Errorf("mix summary missing %q:\n%s", frag, mix)
+		}
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	rec := NewRecorder(0) // clamped to 1
+	if rec.Total() != 0 || rec.TakenRate() != 0 {
+		t.Error("fresh recorder should be empty")
+	}
+	if !strings.Contains(rec.MixSummary(), "no instructions") {
+		t.Error("empty mix summary wrong")
+	}
+}
+
+// TestTracesDiAGMachine verifies the hook reaches through a machine run.
+func TestTracesDiAGMachine(t *testing.T) {
+	img, err := asm.Assemble(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := diag.NewMachine(diag.F4C2(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(64)
+	mach.Ring(0).CPU().Hook = rec.Record
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Total() == 0 {
+		t.Error("machine run produced no trace")
+	}
+	if rec.Total() != mach.Stats().Retired {
+		t.Errorf("trace count %d != retired %d", rec.Total(), mach.Stats().Retired)
+	}
+}

@@ -1,0 +1,461 @@
+package workloads
+
+import (
+	"fmt"
+
+	"diag/internal/mem"
+)
+
+// ---------------------------------------------------------------------
+// perlbench — string hashing (the hash-table core that dominates
+// perlbench): djb2-style hash over NUL-terminated strings with a
+// data-dependent inner loop. Integer, byte loads, branchy.
+// Scale: 512*Scale strings of 8–40 bytes.
+// ---------------------------------------------------------------------
+
+func plStrings(p Params) int { return 512 * p.Scale }
+
+func plData(p Params) (blob []byte, offs []uint32) {
+	n := plStrings(p)
+	lens := randWords(111, n, 32)
+	chars := randWords(112, n*48, 255)
+	for i := 0; i < n; i++ {
+		offs = append(offs, uint32(len(blob)))
+		l := int(lens[i]) + 8
+		for j := 0; j < l; j++ {
+			c := byte(chars[i*48+j])
+			if c == 0 {
+				c = 'a'
+			}
+			blob = append(blob, c)
+		}
+		blob = append(blob, 0)
+	}
+	return
+}
+
+func buildPerlbench(p Params) (*mem.Image, error) {
+	p = p.normalize()
+	n := plStrings(p)
+	blob, offs := plData(p)
+
+	src := fmt.Sprintf(`_start:
+	li   s0, 0x%x       # blob
+	li   s1, 0x%x       # offsets
+	li   s2, 0x%x       # out hashes
+	li   t5, %d
+%ssloop:
+	slli a0, t0, 2
+	add  a1, a0, s1
+	lw   a2, 0(a1)      # offset
+	add  a2, a2, s0     # p
+	li   a3, 5381       # h
+hloop:
+	lbu  a4, 0(a2)
+	beqz a4, hdone
+	slli a5, a3, 5
+	add  a3, a5, a3     # h*33
+	add  a3, a3, a4     # + c
+	addi a2, a2, 1
+	j    hloop
+hdone:
+	add  a6, a0, s2
+	sw   a3, 0(a6)
+	addi t0, t0, 1
+	blt  t0, t2, sloop
+	ebreak
+`, inBase, in2Base, outBase, n,
+		partition("t5", "t1", "t0", "t2", "pl"))
+
+	return assemble("perlbench", src,
+		mem.Segment{Addr: inBase, Data: blob},
+		mem.Segment{Addr: in2Base, Data: wordsToBytes(offs)})
+}
+
+func checkPerlbench(m *mem.Memory, p Params) error {
+	p = p.normalize()
+	n := plStrings(p)
+	blob, offs := plData(p)
+	want := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		h := uint32(5381)
+		for j := offs[i]; blob[j] != 0; j++ {
+			h = h<<5 + h + uint32(blob[j])
+		}
+		want[i] = h
+	}
+	return checkWords(m, outBase, want, "perlbench.hash")
+}
+
+// ---------------------------------------------------------------------
+// mcf — arc-list pointer chasing (the network-simplex traversal that
+// makes mcf the classic memory-latency-bound SPEC benchmark): each
+// thread walks its own randomized linked list accumulating costs.
+// Scale: 8192*Scale nodes per thread, 4 traversals.
+// ---------------------------------------------------------------------
+
+func mcfNodes(p Params) int { return 8192 * p.Scale }
+
+// mcfList builds p.Threads independent singly-linked permutation cycles.
+// Node layout: 8 bytes {next index, cost}.
+func mcfList(p Params) []uint32 {
+	n := mcfNodes(p)
+	words := make([]uint32, 0, 2*n*p.Threads)
+	for t := 0; t < p.Threads; t++ {
+		perm := randWords(int64(121+t), n, 1<<30)
+		next := make([]int, n)
+		for i := range next {
+			next[i] = i
+		}
+		// Sattolo shuffle: one full cycle.
+		for i := n - 1; i > 0; i-- {
+			j := int(perm[i]) % i
+			next[i], next[j] = next[j], next[i]
+		}
+		costs := randWords(int64(131+t), n, 1000)
+		base := t * n
+		for i := 0; i < n; i++ {
+			words = append(words, uint32(base+next[i]), costs[i])
+		}
+	}
+	return words
+}
+
+func buildMCF(p Params) (*mem.Image, error) {
+	p = p.normalize()
+	n := mcfNodes(p)
+
+	src := fmt.Sprintf(`_start:
+	li   s0, 0x%x       # node array (8B per node)
+	li   a0, %d         # nodes per thread
+	mul  a1, a0, tp     # this thread's first node index
+	li   s3, 0          # total cost
+	li   s4, 0          # pass
+	li   s5, 4          # passes
+ploop:
+	mv   a2, a1         # cur = start
+	li   a3, 0          # visited count
+closs:
+	slli a4, a2, 3
+	add  a4, a4, s0
+	lw   a5, 4(a4)      # cost
+	add  s3, s3, a5
+	lw   a2, 0(a4)      # next
+	addi a3, a3, 1
+	blt  a3, a0, closs
+	addi s4, s4, 1
+	blt  s4, s5, ploop
+	slli a6, tp, 2
+	li   a7, 0x%x
+	add  a7, a7, a6
+	sw   s3, 0(a7)
+	ebreak
+`, inBase, n, outBase)
+
+	return assemble("mcf", src,
+		mem.Segment{Addr: inBase, Data: wordsToBytes(mcfList(p))})
+}
+
+func checkMCF(m *mem.Memory, p Params) error {
+	p = p.normalize()
+	n := mcfNodes(p)
+	words := mcfList(p)
+	for t := 0; t < p.Threads; t++ {
+		total := uint32(0)
+		cur := uint32(t * n)
+		for pass := 0; pass < 4; pass++ {
+			c := cur
+			for i := 0; i < n; i++ {
+				total += words[2*c+1]
+				c = words[2*c]
+			}
+		}
+		if err := checkWords(m, uint32(outBase+4*t), []uint32{total}, fmt.Sprintf("mcf.t%d", t)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// x264 — 4×4 SAD block matching (the motion-estimation kernel that
+// dominates x264): per candidate position, the sum of absolute byte
+// differences over a fully unrolled 4×4 block (branchless abs).
+// Integer-dense, SIMT-capable. Scale: 512*Scale candidate positions.
+// ---------------------------------------------------------------------
+
+const x264Stride = 64
+
+func x264Positions(p Params) int { return 512 * p.Scale }
+
+func x264Frames(p Params) (cur, ref []byte) {
+	n := x264Positions(p) + 4*x264Stride + 4
+	wc := randWords(141, n, 255)
+	wr := randWords(142, n, 255)
+	cur = make([]byte, n)
+	ref = make([]byte, n)
+	for i := range cur {
+		cur[i] = byte(wc[i])
+		ref[i] = byte(wr[i])
+	}
+	return
+}
+
+func buildX264(p Params) (*mem.Image, error) {
+	p = p.normalize()
+	n := x264Positions(p)
+	cur, ref := x264Frames(p)
+
+	var body string
+	body += "\tadd a0, t0, s0\n\tadd a1, t0, s1\n\tli a2, 0\n"
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			off := r*x264Stride + c
+			body += fmt.Sprintf("\tlbu a3, %d(a0)\n\tlbu a4, %d(a1)\n", off, off)
+			// Branchless |a-b|: d = a-b; m = d>>31; |d| = (d^m)-m.
+			body += "\tsub a3, a3, a4\n\tsrai a4, a3, 31\n\txor a3, a3, a4\n\tsub a3, a3, a4\n"
+			body += "\tadd a2, a2, a3\n"
+		}
+	}
+	body += "\tslli a5, t0, 2\n\tadd a5, a5, s2\n\tsw a2, 0(a5)\n"
+
+	src := fmt.Sprintf(`_start:
+	li   s0, 0x%x       # current frame
+	li   s1, 0x%x       # reference frame
+	li   s2, 0x%x       # out SADs
+	li   t5, %d
+%s	li   t1, 1
+%s	ebreak
+`, inBase, in2Base, outBase, n,
+		partition("t5", "t6", "t0", "t2", "sad"),
+		loopWrap(p.SIMT, "sad", "t0", "t1", "t2", 1, body))
+
+	return assemble("x264", src,
+		mem.Segment{Addr: inBase, Data: cur},
+		mem.Segment{Addr: in2Base, Data: ref})
+}
+
+func checkX264(m *mem.Memory, p Params) error {
+	p = p.normalize()
+	n := x264Positions(p)
+	cur, ref := x264Frames(p)
+	want := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		sad := uint32(0)
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				a := int32(cur[i+r*x264Stride+c])
+				b := int32(ref[i+r*x264Stride+c])
+				d := a - b
+				if d < 0 {
+					d = -d
+				}
+				sad += uint32(d)
+			}
+		}
+		want[i] = sad
+	}
+	return checkWords(m, outBase, want, "x264.sad")
+}
+
+// ---------------------------------------------------------------------
+// deepsjeng — bitboard population counting (the move-generation bit
+// scanning of deepsjeng): per board word, a SWAR popcount plus a
+// mobility-style weighting. Straight-line shifts/masks (SIMT-capable).
+// Scale: 1024*Scale boards.
+// ---------------------------------------------------------------------
+
+func dsBoards(p Params) int { return 1024 * p.Scale }
+
+func buildDeepsjeng(p Params) (*mem.Image, error) {
+	p = p.normalize()
+	n := dsBoards(p)
+	boards := randWords(151, n, 0xFFFFFFFF)
+
+	// SWAR popcount in registers a2..a4 with mask constants in s3..s5.
+	body := `	slli a0, t0, 2
+	add  a0, a0, s0
+	lw   a2, 0(a0)       # board
+	srli a3, a2, 1
+	and  a3, a3, s3      # 0x55555555
+	sub  a2, a2, a3
+	srli a3, a2, 2
+	and  a3, a3, s4      # 0x33333333
+	and  a2, a2, s4
+	add  a2, a2, a3
+	srli a3, a2, 4
+	add  a2, a2, a3
+	and  a2, a2, s5      # 0x0F0F0F0F
+	slli a3, a2, 8
+	add  a2, a2, a3
+	slli a3, a2, 16
+	add  a2, a2, a3
+	srli a2, a2, 24      # popcount
+	lw   a4, 0(a0)
+	andi a5, a4, 0xFF    # rank occupancy weight
+	mul  a5, a5, a2
+	add  a6, a2, a5
+	slli a7, t0, 2
+	add  a7, a7, s2
+	sw   a6, 0(a7)
+`
+	src := fmt.Sprintf(`_start:
+	li   s0, 0x%x
+	li   s2, 0x%x
+	li   s3, 0x55555555
+	li   s4, 0x33333333
+	li   s5, 0x0F0F0F0F
+	li   t5, %d
+%s	li   t1, 1
+%s	ebreak
+`, inBase, outBase, n,
+		partition("t5", "t6", "t0", "t2", "ds"),
+		loopWrap(p.SIMT, "ds", "t0", "t1", "t2", 1, body))
+
+	return assemble("deepsjeng", src,
+		mem.Segment{Addr: inBase, Data: wordsToBytes(boards)})
+}
+
+func checkDeepsjeng(m *mem.Memory, p Params) error {
+	p = p.normalize()
+	n := dsBoards(p)
+	boards := randWords(151, n, 0xFFFFFFFF)
+	want := make([]uint32, n)
+	for i, b := range boards {
+		x := b
+		x = x - (x>>1)&0x55555555
+		x = x&0x33333333 + (x>>2)&0x33333333
+		x = (x + x>>4) & 0x0F0F0F0F
+		x = x + x<<8
+		x = x + x<<16
+		pc := x >> 24
+		w := (b & 0xFF) * pc
+		want[i] = pc + w
+	}
+	return checkWords(m, outBase, want, "deepsjeng.score")
+}
+
+// ---------------------------------------------------------------------
+// leela — 3×3 liberty counting on a board (the pattern evaluation of
+// leela): for each interior point, count live neighbors in a 3×3
+// window, fully unrolled byte loads. Integer stencil (SIMT-capable).
+// Scale: 16*Scale rows × 64 columns.
+// ---------------------------------------------------------------------
+
+func llRows(p Params) int { return 16 * p.Scale }
+
+func llBoard(p Params) []byte {
+	n := llRows(p) * hsCols
+	w := randWords(161, n, 2)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(w[i])
+	}
+	return b
+}
+
+func buildLeela(p Params) (*mem.Image, error) {
+	p = p.normalize()
+	r := llRows(p)
+	board := llBoard(p)
+
+	var body string
+	body += `	andi a0, t0, 63
+	beqz a0, ll_skip
+	addi a1, a0, -63
+	beqz a1, ll_skip
+	add  a2, t0, s0
+	li   a3, 0
+`
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			body += fmt.Sprintf("\tlbu a4, %d(a2)\n\tadd a3, a3, a4\n", dr*hsCols+dc)
+		}
+	}
+	body += `	slli a5, t0, 2
+	add  a5, a5, s2
+	sw   a3, 0(a5)
+ll_skip:
+`
+	src := fmt.Sprintf(`_start:
+	li   s0, 0x%x
+	li   s2, 0x%x
+	li   t5, %d
+%s	li   a1, 64
+	bge  t0, a1, ll_lo_ok
+	mv   t0, a1
+ll_lo_ok:
+	li   a1, %d
+	blt  t2, a1, ll_hi_ok
+	mv   t2, a1
+ll_hi_ok:
+	li   t1, 1
+%s	ebreak
+`, inBase, outBase, r*hsCols,
+		partition("t5", "t6", "t0", "t2", "ll"),
+		r*hsCols-hsCols,
+		loopWrap(p.SIMT, "ll", "t0", "t1", "t2", 1, body))
+
+	return assemble("leela", src,
+		mem.Segment{Addr: inBase, Data: board})
+}
+
+func checkLeela(m *mem.Memory, p Params) error {
+	p = p.normalize()
+	r := llRows(p)
+	board := llBoard(p)
+	total := r * hsCols
+	want := make([]uint32, total)
+	for t := 0; t < p.Threads; t++ {
+		lo, hi := threadRange(total, t, p.Threads)
+		if lo < hsCols {
+			lo = hsCols
+		}
+		if hi > total-hsCols {
+			hi = total - hsCols
+		}
+		for i := lo; i < hi; i++ {
+			c := i & 63
+			if c == 0 || c == 63 {
+				continue
+			}
+			sum := uint32(0)
+			for dr := -1; dr <= 1; dr++ {
+				for dc := -1; dc <= 1; dc++ {
+					if dr == 0 && dc == 0 {
+						continue
+					}
+					sum += uint32(board[i+dr*hsCols+dc])
+				}
+			}
+			want[i] = sum
+		}
+	}
+	return checkWords(m, outBase, want, "leela.libs")
+}
+
+func init() {
+	register(Workload{
+		Name: "perlbench", Suite: SPEC, Class: "control", FP: false,
+		SIMTCapable: false, Build: buildPerlbench, Check: checkPerlbench,
+	})
+	register(Workload{
+		Name: "mcf", Suite: SPEC, Class: "memory", FP: false,
+		SIMTCapable: false, Build: buildMCF, Check: checkMCF,
+	})
+	register(Workload{
+		Name: "x264", Suite: SPEC, Class: "compute", FP: false,
+		SIMTCapable: true, Build: buildX264, Check: checkX264,
+	})
+	register(Workload{
+		Name: "deepsjeng", Suite: SPEC, Class: "compute", FP: false,
+		SIMTCapable: true, Build: buildDeepsjeng, Check: checkDeepsjeng,
+	})
+	register(Workload{
+		Name: "leela", Suite: SPEC, Class: "mixed", FP: false,
+		SIMTCapable: true, Build: buildLeela, Check: checkLeela,
+	})
+}

@@ -1,0 +1,413 @@
+package workloads
+
+import (
+	"fmt"
+
+	"diag/internal/mem"
+)
+
+// ---------------------------------------------------------------------
+// omnetpp — discrete-event queue churn (the event scheduler that
+// dominates omnetpp): a binary min-heap of event timestamps is filled
+// and fully drained; the drain order is checksummed. Pointer-arithmetic
+// and compare-branch heavy, irregular access. Parallel form: one heap
+// per thread. Scale: 1024*Scale events per thread.
+// ---------------------------------------------------------------------
+
+func omEvents(p Params) int { return 1024 * p.Scale }
+
+func omData(p Params) []uint32 {
+	return randWords(261, omEvents(p)*p.Threads, 1<<20)
+}
+
+func buildOmnetpp(p Params) (*mem.Image, error) {
+	p = p.normalize()
+	n := omEvents(p)
+	events := omData(p)
+
+	// Heap storage per thread at auxBase + tid*4*(n+1), events at
+	// inBase + tid*4*n. 1-indexed heap in a3=size.
+	src := fmt.Sprintf(`_start:
+	li   a0, %d          # events per thread
+	slli a1, a0, 2
+	mul  a2, a1, tp
+	li   s0, 0x%x
+	add  s0, s0, a2      # this thread's events
+	addi a3, a1, 4
+	mul  a3, a3, tp
+	li   s1, 0x%x
+	add  s1, s1, a3      # this thread's heap (1-indexed)
+	li   s3, 0           # heap size
+	li   t0, 0           # i
+insert:
+	slli a4, t0, 2
+	add  a4, a4, s0
+	lw   a5, 0(a4)       # v = events[i]
+	addi s3, s3, 1
+	mv   a6, s3          # hole = size
+sift_up:
+	li   a7, 1
+	ble  a6, a7, up_done
+	srli t3, a6, 1       # parent
+	slli t4, t3, 2
+	add  t4, t4, s1
+	lw   t5, 0(t4)       # heap[parent]
+	bleu t5, a5, up_done
+	slli t6, a6, 2
+	add  t6, t6, s1
+	sw   t5, 0(t6)       # move parent down
+	mv   a6, t3
+	j    sift_up
+up_done:
+	slli t6, a6, 2
+	add  t6, t6, s1
+	sw   a5, 0(t6)
+	addi t0, t0, 1
+	blt  t0, a0, insert
+
+	# drain: checksum = sum of (min * rank) to pin the exact order
+	li   s4, 0           # checksum
+	li   s5, 1           # rank
+drain:
+	beqz s3, done
+	lw   a5, 4(s1)       # heap[1] = min
+	mul  t3, a5, s5
+	add  s4, s4, t3
+	addi s5, s5, 1
+	slli t4, s3, 2
+	add  t4, t4, s1
+	lw   a5, 0(t4)       # last element
+	addi s3, s3, -1
+	li   a6, 1           # hole = 1
+sift_down:
+	slli t3, a6, 1       # left child
+	bgt  t3, s3, down_done
+	slli t4, t3, 2
+	add  t4, t4, s1
+	lw   t5, 0(t4)       # heap[left]
+	addi t6, t3, 1       # right
+	bgt  t6, s3, no_right
+	slli a7, t6, 2
+	add  a7, a7, s1
+	lw   a7, 0(a7)       # heap[right]
+	bleu t5, a7, no_right
+	mv   t3, t6
+	mv   t5, a7
+no_right:
+	bleu a5, t5, down_done
+	slli a7, a6, 2
+	add  a7, a7, s1
+	sw   t5, 0(a7)       # move child up
+	mv   a6, t3
+	j    sift_down
+down_done:
+	slli a7, a6, 2
+	add  a7, a7, s1
+	sw   a5, 0(a7)
+	j    drain
+done:
+	slli a4, tp, 2
+	li   a5, 0x%x
+	add  a5, a5, a4
+	sw   s4, 0(a5)
+	ebreak
+`, n, inBase, auxBase, outBase)
+
+	return assemble("omnetpp", src,
+		mem.Segment{Addr: inBase, Data: wordsToBytes(events)})
+}
+
+func checkOmnetpp(m *mem.Memory, p Params) error {
+	p = p.normalize()
+	n := omEvents(p)
+	events := omData(p)
+	for t := 0; t < p.Threads; t++ {
+		slice := append([]uint32(nil), events[t*n:(t+1)*n]...)
+		// Reference: sorted ascending drain with rank weighting.
+		// (A heap drain yields exactly ascending order for unique-ish
+		// values; duplicates also come out in nondecreasing order, and
+		// the checksum only depends on the multiset per rank.)
+		sortU32(slice)
+		sum := uint32(0)
+		for i, v := range slice {
+			sum += v * uint32(i+1)
+		}
+		if err := checkWords(m, uint32(outBase+4*t), []uint32{sum}, fmt.Sprintf("omnetpp.t%d", t)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortU32(a []uint32) {
+	// Insertion sort is fine at these sizes and keeps us stdlib-light.
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// ---------------------------------------------------------------------
+// xalancbmk — binary-search-tree walk with string keys (the DOM/string
+// machinery that dominates xalancbmk): a balanced BST over 8-byte keys
+// is searched for each query by byte-wise comparison. Control- and
+// memory-bound. Scale: 1024*Scale keys, 256*Scale queries.
+// ---------------------------------------------------------------------
+
+const xkKeyLen = 8
+
+func xkSizes(p Params) (keys, queries int) { return 1024 * p.Scale, 256 * p.Scale }
+
+// xkData builds a sorted key blob, an implicit balanced BST (node i has
+// children 2i+1/2i+2 over the in-order layout), and query indices.
+func xkData(p Params) (blob []byte, order []uint32, queries []uint32) {
+	nk, nq := xkSizes(p)
+	// Sorted fixed-length keys: "k" + 7 digits.
+	blob = make([]byte, nk*xkKeyLen)
+	for i := 0; i < nk; i++ {
+		copy(blob[i*xkKeyLen:], fmt.Sprintf("k%07d", i*3))
+	}
+	// Build the implicit-BST node order: node j holds sorted index
+	// order[j] so the tree is balanced.
+	order = make([]uint32, nk)
+	var fill func(node int, lo, hi int)
+	fill = func(node, lo, hi int) {
+		if lo >= hi || node >= nk {
+			return
+		}
+		mid := (lo + hi) / 2
+		order[node] = uint32(mid)
+		fill(2*node+1, lo, mid)
+		fill(2*node+2, mid+1, hi)
+	}
+	fill(0, 0, nk)
+	qi := randWords(271, nq, uint32(nk))
+	queries = make([]uint32, nq)
+	copy(queries, qi)
+	return
+}
+
+func buildXalancbmk(p Params) (*mem.Image, error) {
+	p = p.normalize()
+	nk, nq := xkSizes(p)
+	blob, order, queries := xkData(p)
+
+	// For each query q (a sorted index), walk the tree from node 0
+	// comparing the 8-byte key at blob[order[node]] with the key at
+	// blob[q]; store the node depth where found.
+	src := fmt.Sprintf(`_start:
+	li   s0, 0x%x       # key blob
+	li   s1, 0x%x       # order (node -> sorted idx)
+	li   s2, 0x%x       # out depths
+	li   s3, 0x%x       # queries
+	li   s4, %d         # nk
+	li   t5, %d         # nq
+%sqloop:
+	slli a0, t0, 2
+	add  a1, a0, s3
+	lw   a2, 0(a1)      # qidx
+	slli a3, a2, 3
+	add  a3, a3, s0     # qkey ptr
+	li   a4, 0          # node
+	li   a5, 0          # depth
+walk:
+	bgeu a4, s4, notfound
+	slli a6, a4, 2
+	add  a6, a6, s1
+	lw   a6, 0(a6)      # sorted idx at node
+	slli a7, a6, 3
+	add  a7, a7, s0     # node key ptr
+	# byte-wise compare 8 bytes
+	li   t3, 0
+cmploop:
+	add  t4, a3, t3
+	lbu  t4, 0(t4)
+	add  t6, a7, t3
+	lbu  t6, 0(t6)
+	bne  t4, t6, cmpdone
+	addi t3, t3, 1
+	li   t4, %d
+	blt  t3, t4, cmploop
+	# equal: found at depth a5
+	j    store
+cmpdone:
+	addi a5, a5, 1
+	bltu t4, t6, goleft
+	slli a4, a4, 1
+	addi a4, a4, 2      # right child
+	j    walk
+goleft:
+	slli a4, a4, 1
+	addi a4, a4, 1      # left child
+	j    walk
+notfound:
+	li   a5, -1
+store:
+	add  a6, a0, s2
+	sw   a5, 0(a6)
+	addi t0, t0, 1
+	blt  t0, t2, qloop
+	ebreak
+`, inBase, in2Base, outBase, auxBase, nk, nq,
+		partition("t5", "t1", "t0", "t2", "xk"),
+		xkKeyLen)
+
+	return assemble("xalancbmk", src,
+		mem.Segment{Addr: inBase, Data: blob},
+		mem.Segment{Addr: in2Base, Data: wordsToBytes(order)},
+		mem.Segment{Addr: auxBase, Data: wordsToBytes(queries)})
+}
+
+func checkXalancbmk(m *mem.Memory, p Params) error {
+	p = p.normalize()
+	nk, nq := xkSizes(p)
+	blob, order, queries := xkData(p)
+	key := func(i uint32) string { return string(blob[i*xkKeyLen : (i+1)*xkKeyLen]) }
+	want := make([]uint32, nq)
+	for qi, q := range queries {
+		node, depth := 0, uint32(0)
+		want[qi] = 0xFFFFFFFF
+		for node < nk {
+			nk2 := key(order[node])
+			qk := key(q)
+			if qk == nk2 {
+				want[qi] = depth
+				break
+			}
+			depth++
+			if qk < nk2 {
+				node = 2*node + 1
+			} else {
+				node = 2*node + 2
+			}
+		}
+	}
+	return checkWords(m, outBase, want, "xalancbmk.depth")
+}
+
+// ---------------------------------------------------------------------
+// exchange2 — small-board permutation scoring (the branchy recursive
+// search of exchange2, flattened): for each 8-element seed permutation,
+// count pairwise inversions and conflicting "columns" with a nested
+// integer loop. Branch-dense integer code. Scale: 512*Scale boards.
+// ---------------------------------------------------------------------
+
+const exN = 8
+
+func exBoards(p Params) int { return 512 * p.Scale }
+
+func exData(p Params) []uint32 {
+	n := exBoards(p)
+	out := make([]uint32, n*exN)
+	r := randWords(281, n*exN, exN)
+	copy(out, r)
+	return out
+}
+
+func buildExchange2(p Params) (*mem.Image, error) {
+	p = p.normalize()
+	n := exBoards(p)
+	boards := exData(p)
+
+	src := fmt.Sprintf(`_start:
+	li   s0, 0x%x
+	li   s2, 0x%x
+	li   t5, %d
+%sbloop:
+	slli a0, t0, 5       # board offset (8 words)
+	add  a0, a0, s0
+	li   a1, 0           # score
+	li   a2, 0           # i
+iloop:
+	li   a3, %d
+	addi a3, a3, -1
+	bge  a2, a3, idone
+	slli a4, a2, 2
+	add  a4, a4, a0
+	lw   a5, 0(a4)       # b[i]
+	addi a6, a2, 1       # j
+jloop2:
+	li   a7, %d
+	bge  a6, a7, jdone
+	slli t3, a6, 2
+	add  t3, t3, a0
+	lw   t4, 0(t3)       # b[j]
+	ble  a5, t4, noinv
+	addi a1, a1, 1       # inversion
+noinv:
+	sub  t6, a6, a2      # j - i
+	sub  t3, t4, a5      # b[j] - b[i]
+	bne  t3, t6, nodiag1
+	addi a1, a1, 2       # rising diagonal conflict
+nodiag1:
+	neg  t6, t6
+	bne  t3, t6, nodiag2
+	addi a1, a1, 2       # falling diagonal conflict
+nodiag2:
+	addi a6, a6, 1
+	j    jloop2
+jdone:
+	addi a2, a2, 1
+	j    iloop
+idone:
+	slli a4, t0, 2
+	add  a4, a4, s2
+	sw   a1, 0(a4)
+	addi t0, t0, 1
+	blt  t0, t2, bloop
+	ebreak
+`, inBase, outBase, n,
+		partition("t5", "t1", "t0", "t2", "ex"),
+		exN, exN)
+
+	return assemble("exchange2", src,
+		mem.Segment{Addr: inBase, Data: wordsToBytes(boards)})
+}
+
+func checkExchange2(m *mem.Memory, p Params) error {
+	p = p.normalize()
+	n := exBoards(p)
+	boards := exData(p)
+	want := make([]uint32, n)
+	for b := 0; b < n; b++ {
+		score := uint32(0)
+		bd := boards[b*exN : (b+1)*exN]
+		for i := 0; i < exN-1; i++ {
+			for j := i + 1; j < exN; j++ {
+				if int32(bd[i]) > int32(bd[j]) {
+					score++
+				}
+				diff := int32(bd[j]) - int32(bd[i])
+				dist := int32(j - i)
+				if diff == dist {
+					score += 2
+				}
+				if diff == -dist {
+					score += 2
+				}
+			}
+		}
+		want[b] = score
+	}
+	return checkWords(m, outBase, want, "exchange2.score")
+}
+
+func init() {
+	register(Workload{
+		Name: "omnetpp", Suite: SPEC, Class: "memory", FP: false,
+		SIMTCapable: false, Build: buildOmnetpp, Check: checkOmnetpp,
+	})
+	register(Workload{
+		Name: "xalancbmk", Suite: SPEC, Class: "control", FP: false,
+		SIMTCapable: false, Build: buildXalancbmk, Check: checkXalancbmk,
+	})
+	register(Workload{
+		Name: "exchange2", Suite: SPEC, Class: "control", FP: false,
+		SIMTCapable: false, Build: buildExchange2, Check: checkExchange2,
+	})
+}
