@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures tables examples cover clean
+.PHONY: all build test race check vet bench figures tables examples cover clean
 
 all: build vet test
 
@@ -14,6 +14,16 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector run: the parallel experiment engine fans simulations
+# across goroutines, so the full suite must be race-clean.
+race:
+	$(GO) test -race ./...
+
+# The gate CI runs: static checks plus the race-enabled suite.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # Full benchmark run: every paper figure/table plus ablations.
 bench:

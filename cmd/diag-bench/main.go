@@ -1,29 +1,31 @@
 // diag-bench regenerates the paper's evaluation figures (see DESIGN.md
-// for the experiment index).
+// for the experiment index). Independent simulations fan out across a
+// worker pool; the tables are byte-identical at any -parallel setting.
 //
 // Usage:
 //
-//	diag-bench -fig 9a          # one figure: 9a, 9b, 10a, 10b, 11, 12
-//	diag-bench -stalls          # §7.3.2 stall-source breakdown
-//	diag-bench -all [-scale 2]  # everything
+//	diag-bench -fig 9a               # one figure: 9a, 9b, 10a, 10b, 11, 12
+//	diag-bench -stalls               # §7.3.2 stall-source breakdown
+//	diag-bench -all [-scale 2]       # everything
+//	diag-bench -all -parallel 8      # on 8 workers
+//	diag-bench -all -timeout 2m      # bound each simulation's wall clock
+//
+// Ctrl-C cancels the sweep; in-flight simulations abort within a few
+// thousand simulated instructions.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"time"
 
 	"diag/internal/bench"
+	"diag/internal/exp"
 )
-
-var figures = map[string]func(int) (*bench.Figure, error){
-	"9a":  bench.Fig9a,
-	"9b":  bench.Fig9b,
-	"10a": bench.Fig10a,
-	"10b": bench.Fig10b,
-	"11":  bench.Fig11,
-	"12":  bench.Fig12,
-}
 
 // order keeps -all output in the paper's order.
 var order = []string{"9a", "9b", "10a", "10b", "11", "12"}
@@ -36,7 +38,31 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of a text table")
 	sweep := flag.String("sweep", "", "PE-scaling sweep for one workload (§7.2.1 saturation)")
 	list := flag.Bool("list", false, "list the benchmark kernels")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
+	progress := flag.Bool("progress", true, "report live per-simulation progress on stderr")
 	flag.Parse()
+
+	// Ctrl-C cancels the whole sweep rather than killing the process
+	// mid-write; a second Ctrl-C kills immediately (signal.NotifyContext
+	// restores the default handler once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runner := bench.NewRunner(ctx, bench.Options{
+		Workers:    *parallel,
+		Timeout:    *timeout,
+		OnProgress: progressFunc(*progress),
+	})
+
+	figures := map[string]func(int) (*bench.Figure, error){
+		"9a":  runner.Fig9a,
+		"9b":  runner.Fig9b,
+		"10a": runner.Fig10a,
+		"10b": runner.Fig10b,
+		"11":  runner.Fig11,
+		"12":  runner.Fig12,
+	}
 	render := func(fig *bench.Figure) string {
 		if *csv {
 			return fig.CSV()
@@ -48,19 +74,18 @@ func main() {
 	case *list:
 		fmt.Println(bench.Describe())
 	case *sweep != "":
-		fig, err := bench.ScalingSweep(*sweep, []int{2, 4, 8, 16, 32, 64}, *scale)
+		fig, err := runner.ScalingSweep(*sweep, []int{2, 4, 8, 16, 32, 64}, *scale)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "diag-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println(render(fig))
 	case *all:
 		for _, id := range order {
 			emit(figures[id], *scale, render)
 		}
-		emit(bench.StallBreakdown, *scale, render)
+		emit(runner.StallBreakdown, *scale, render)
 	case *stalls:
-		emit(bench.StallBreakdown, *scale, render)
+		emit(runner.StallBreakdown, *scale, render)
 	case *fig != "":
 		f, ok := figures[*fig]
 		if !ok {
@@ -74,11 +99,36 @@ func main() {
 	}
 }
 
+// progressFunc returns the live progress reporter, or nil when disabled
+// or when stderr is not worth spamming. Lines are overwritten in place
+// so a long sweep shows a single updating status line per figure.
+func progressFunc(enabled bool) func(exp.Progress) {
+	if !enabled {
+		return nil
+	}
+	return func(p exp.Progress) {
+		status := "ok"
+		if p.Err != nil {
+			status = "FAIL"
+		}
+		fmt.Fprintf(os.Stderr, "\r\x1b[K[%*d/%d] %-40s %8s  %s",
+			len(fmt.Sprint(p.Total)), p.Done, p.Total, p.Name,
+			p.Elapsed.Round(time.Millisecond), status)
+		if p.Done == p.Total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
 func emit(f func(int) (*bench.Figure, error), scale int, render func(*bench.Figure) string) {
 	fig, err := f(scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "diag-bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Println(render(fig))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diag-bench:", err)
+	os.Exit(1)
 }

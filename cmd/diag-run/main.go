@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"diag/internal/asm"
@@ -39,7 +41,17 @@ func main() {
 	sharedFPUs := flag.Int("shared-fpus", 0, "share N FPUs per cluster instead of one per PE (paper §7.5)")
 	spec := flag.Bool("spec-datapaths", false, "speculatively construct taken-branch target datapaths (paper §7.3.2)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
+	maxCycles := flag.Int64("max-cycles", 0, "simulated-cycle budget for the run (0 = none)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	img, check, err := buildProgram(*workload, workloads.Params{Scale: *scale, Threads: *threads, SIMT: *simt})
 	if err != nil {
@@ -47,13 +59,14 @@ func main() {
 	}
 
 	if strings.EqualFold(*machine, "ooo") {
-		runBaseline(img, check, *cores, *showEnergy)
+		runBaseline(ctx, img, check, *cores, *maxCycles, *showEnergy)
 		return
 	}
 	cfg, err := diagConfig(*machine)
 	if err != nil {
 		fatal(err)
 	}
+	cfg.MaxCycles = *maxCycles
 	if *rings > 0 {
 		cfg = diag.MultiRing(cfg, *rings, 2)
 	}
@@ -72,7 +85,7 @@ func main() {
 		rec = trace.NewRecorder(*traceN)
 		mach.Ring(0).CPU().Hook = rec.Record
 	}
-	if err := mach.Run(); err != nil {
+	if err := mach.RunContext(ctx); err != nil {
 		fatal(err)
 	}
 	st, m := mach.Stats(), mach.Mem()
@@ -161,12 +174,13 @@ func printDiAG(cfg diag.Config, st diag.Stats, energy bool) {
 	}
 }
 
-func runBaseline(img *mem.Image, check func(*mem.Memory) error, cores int, energy bool) {
+func runBaseline(ctx context.Context, img *mem.Image, check func(*mem.Memory) error, cores int, maxCycles int64, energy bool) {
 	cfg := ooo.Baseline()
 	if cores > 1 {
 		cfg = ooo.BaselineMulticore(cores)
 	}
-	st, m, err := ooo.RunImage(cfg, img)
+	cfg.MaxCycles = maxCycles
+	st, m, err := ooo.RunImageContext(ctx, cfg, img)
 	if err != nil {
 		fatal(err)
 	}

@@ -21,24 +21,46 @@
 //	st, mem, err := diag.Run(diag.F4C16(), img)
 //	fmt.Println(st.Cycles, st.IPC())
 //
+// Runs accept functional options for cancellation, budgets, and
+// tracing, and failures map onto a typed taxonomy (ErrTimeout,
+// ErrMaxCycles, ErrMaxInstructions, ErrBadProgram):
+//
+//	st, mem, err := diag.Run(cfg, img,
+//	    diag.WithContext(ctx), diag.WithMaxCycles(1_000_000))
+//	if errors.Is(err, diag.ErrMaxCycles) { ... }
+//
 // To compare against the out-of-order baseline:
 //
 //	base, _, err := diag.RunBaseline(diag.Baseline(), img)
 //	speedup := float64(base.Cycles) / float64(st.Cycles)
 //
-// To regenerate a paper figure:
+// To regenerate a paper figure (serially, or in parallel with a
+// FigureRunner):
 //
 //	fig, err := diag.Fig9a(1)
 //	fmt.Println(fig.Table())
+//
+//	runner := diag.NewFigureRunner(ctx, diag.FigureOptions{Workers: 8})
+//	fig, err = runner.Fig9a(1) // byte-identical, ~Workers× faster
+//
+// Independent simulations fan out across a worker pool with Sweep:
+//
+//	results, err := diag.Sweep(ctx, []diag.SweepJob{
+//	    diag.SimJob("loop/F4C16", diag.F4C16(), img),
+//	    diag.BaselineJob("loop/OoO", diag.Baseline(), img),
+//	}, diag.SweepOptions{})
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure.
 package diag
 
 import (
+	"context"
+
 	"diag/internal/asm"
 	"diag/internal/bench"
 	idiag "diag/internal/diag"
+	"diag/internal/diagerr"
 	"diag/internal/iss"
 	"diag/internal/mem"
 	"diag/internal/ooo"
@@ -97,8 +119,28 @@ func MultiRing(cfg Config, rings, clustersPerRing int) Config {
 func NewMachine(cfg Config, p *Program) (*Machine, error) { return idiag.NewMachine(cfg, p) }
 
 // Run executes p on a DiAG machine and returns its statistics and final
-// memory.
-func Run(cfg Config, p *Program) (Stats, *Memory, error) { return idiag.RunImage(cfg, p) }
+// memory. Options customize the run:
+//
+//	st, m, err := diag.Run(cfg, p,
+//	    diag.WithContext(ctx),      // cancellable
+//	    diag.WithMaxCycles(1e6),    // simulated-cycle budget
+//	    diag.WithTrace(os.Stderr))  // instruction mix + tail trace
+//
+// Failures match the error taxonomy (ErrTimeout, ErrMaxCycles,
+// ErrMaxInstructions, ErrBadProgram) under errors.Is. Calling Run
+// without options is the legacy serial form and remains fully
+// supported.
+func Run(cfg Config, p *Program, opts ...RunOption) (Stats, *Memory, error) {
+	o, ctx, cancel := applyOptions(opts)
+	defer cancel()
+	return runDiAGMachine(ctx, o, cfg, p)
+}
+
+// RunContext is Run with a leading context, for call sites that already
+// hold one: RunContext(ctx, cfg, p) == Run(cfg, p, WithContext(ctx)).
+func RunContext(ctx context.Context, cfg Config, p *Program, opts ...RunOption) (Stats, *Memory, error) {
+	return Run(cfg, p, append(opts, WithContext(ctx))...)
+}
 
 // ---- Out-of-order baseline ----
 
@@ -114,24 +156,43 @@ func Baseline() BaselineConfig { return ooo.Baseline() }
 // BaselineMulticore returns the paper's 12-core baseline.
 func BaselineMulticore(cores int) BaselineConfig { return ooo.BaselineMulticore(cores) }
 
-// RunBaseline executes p on the out-of-order baseline.
-func RunBaseline(cfg BaselineConfig, p *Program) (BaselineStats, *Memory, error) {
-	return ooo.RunImage(cfg, p)
+// RunBaseline executes p on the out-of-order baseline. It accepts the
+// same options and returns the same error taxonomy as Run.
+func RunBaseline(cfg BaselineConfig, p *Program, opts ...RunOption) (BaselineStats, *Memory, error) {
+	o, ctx, cancel := applyOptions(opts)
+	defer cancel()
+	return runBaselineMachine(ctx, o, cfg, p)
+}
+
+// RunBaselineContext is RunBaseline with a leading context.
+func RunBaselineContext(ctx context.Context, cfg BaselineConfig, p *Program, opts ...RunOption) (BaselineStats, *Memory, error) {
+	return RunBaseline(cfg, p, append(opts, WithContext(ctx))...)
 }
 
 // ---- Reference execution ----
 
 // Interpret runs p on the golden instruction-set simulator (no timing)
-// and returns the final architectural state. maxInst bounds the run.
+// and returns the final architectural state. maxInst bounds the run: if
+// the program has not halted when the bound is reached, Interpret
+// returns the partial state together with an error matching
+// ErrMaxInstructions, so a truncated run is never mistaken for a
+// completed one. Abnormal halts match ErrBadProgram.
 func Interpret(p *Program, maxInst uint64) (*iss.CPU, error) {
 	m := mem.New()
 	entry, err := p.Load(m)
 	if err != nil {
-		return nil, err
+		return nil, diagerr.Wrap(diagerr.ErrBadProgram, "diag: %v", err)
 	}
 	c := iss.New(m, entry)
 	c.Run(maxInst)
-	return c, c.Err
+	if c.Err != nil {
+		return c, c.Err
+	}
+	if !c.Halted {
+		return c, diagerr.Wrap(diagerr.ErrMaxInstructions,
+			"diag: interpret: instruction budget %d exhausted before halt", maxInst)
+	}
+	return c, nil
 }
 
 // ---- Energy and area ----

@@ -4,6 +4,15 @@
 // their means, rendered as a fixed-width text table (the repo's analogue
 // of the paper's bar charts).
 //
+// Every figure is a sweep of independent simulations (workload ×
+// machine × scale), so generators do not loop inline: they submit jobs
+// to the experiment engine (internal/exp) through a Runner. The engine
+// returns results in submission order, which makes a parallel
+// regeneration byte-identical to a serial one; the package-level
+// functions (Fig9a, …) run serially for strict backward compatibility,
+// while NewRunner unlocks parallelism, cancellation, per-simulation
+// timeouts, and progress reporting.
+//
 // Experiment index (see DESIGN.md):
 //
 //	Table1()        — qualitative stage comparison (§5.3)
@@ -17,10 +26,15 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"diag/internal/diag"
+	"diag/internal/exp"
 	"diag/internal/mem"
 	"diag/internal/ooo"
 	"diag/internal/power"
@@ -83,13 +97,112 @@ func (f *Figure) computeMeans() {
 	}
 }
 
+// ---- experiment scheduling ----
+
+// Options configure how a Runner schedules the simulations behind a
+// figure.
+type Options struct {
+	// Workers is the number of simulations in flight; <= 0 or 1 runs
+	// serially (the package-level generators' behavior).
+	Workers int
+	// Timeout bounds each simulation's wall-clock time (0 = none). An
+	// expired simulation fails its figure with diagerr.ErrTimeout.
+	Timeout time.Duration
+	// OnProgress, when non-nil, observes every completed simulation.
+	OnProgress func(exp.Progress)
+}
+
+// Runner regenerates figures by fanning their simulations across the
+// experiment engine's worker pool under one context.
+type Runner struct {
+	ctx context.Context
+	opt Options
+}
+
+// NewRunner returns a Runner that schedules simulations under ctx with
+// opt. A nil ctx means context.Background().
+func NewRunner(ctx context.Context, opt Options) *Runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Runner{ctx: ctx, opt: opt}
+}
+
+// serialRunner backs the package-level generators.
+func serialRunner() *Runner { return NewRunner(context.Background(), Options{Workers: 1}) }
+
+// run submits jobs to the engine and applies the figure generators'
+// all-or-nothing error policy: the first simulation failure cancels the
+// remaining jobs and fails the figure.
+func (r *Runner) run(jobs []exp.Job) ([]exp.Result, error) {
+	workers := r.opt.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(r.ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	onProgress := func(p exp.Progress) {
+		if p.Err != nil && !errors.Is(p.Err, context.Canceled) {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = p.Err
+			}
+			mu.Unlock()
+			cancel() // fail fast: no point finishing a doomed figure
+		}
+		if r.opt.OnProgress != nil {
+			r.opt.OnProgress(p)
+		}
+	}
+	res, err := exp.Run(ctx, jobs, exp.Options{
+		Workers: workers, Timeout: r.opt.Timeout, OnProgress: onProgress,
+	})
+	mu.Lock()
+	fe := firstErr
+	mu.Unlock()
+	if fe != nil {
+		return nil, fe
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := exp.FirstErr(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// diagJob builds one DiAG simulation job; its result value is diag.Stats.
+func diagJob(w workloads.Workload, p workloads.Params, cfg diag.Config) exp.Job {
+	return exp.Job{
+		Name: w.Name + "/" + cfg.Name,
+		Run: func(ctx context.Context) (any, error) {
+			return runDiAG(ctx, w, p, cfg)
+		},
+	}
+}
+
+// oooJob builds one baseline simulation job; its result value is ooo.Stats.
+func oooJob(w workloads.Workload, p workloads.Params, cfg ooo.Config) exp.Job {
+	return exp.Job{
+		Name: w.Name + "/" + cfg.Name,
+		Run: func(ctx context.Context) (any, error) {
+			return runOoO(ctx, w, p, cfg)
+		},
+	}
+}
+
 // runDiAG executes w on cfg and returns stats.
-func runDiAG(w workloads.Workload, p workloads.Params, cfg diag.Config) (diag.Stats, error) {
+func runDiAG(ctx context.Context, w workloads.Workload, p workloads.Params, cfg diag.Config) (diag.Stats, error) {
 	img, err := w.Build(p)
 	if err != nil {
 		return diag.Stats{}, err
 	}
-	st, m, err := diag.RunImage(cfg, img)
+	st, m, err := diag.RunImageContext(ctx, cfg, img)
 	if err != nil {
 		return diag.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
 	}
@@ -100,12 +213,12 @@ func runDiAG(w workloads.Workload, p workloads.Params, cfg diag.Config) (diag.St
 }
 
 // runOoO executes w on cfg and returns stats.
-func runOoO(w workloads.Workload, p workloads.Params, cfg ooo.Config) (ooo.Stats, error) {
+func runOoO(ctx context.Context, w workloads.Workload, p workloads.Params, cfg ooo.Config) (ooo.Stats, error) {
 	img, err := w.Build(p)
 	if err != nil {
 		return ooo.Stats{}, err
 	}
-	st, m, err := ooo.RunImage(cfg, img)
+	st, m, err := ooo.RunImageContext(ctx, cfg, img)
 	if err != nil {
 		return ooo.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
 	}
@@ -115,24 +228,35 @@ func runOoO(w workloads.Workload, p workloads.Params, cfg ooo.Config) (ooo.Stats
 	return st, nil
 }
 
+// ---- figure generators ----
+
 // singleThread builds the Fig-9a/10a experiment: relative performance of
-// the three FP DiAG configurations against one baseline core.
-func singleThread(id, title string, suite workloads.Suite, scale int) (*Figure, error) {
+// the three FP DiAG configurations against one baseline core. Each
+// workload contributes 1 + len(configs) jobs, laid out contiguously so
+// results decode by fixed stride.
+func (r *Runner) singleThread(id, title string, suite workloads.Suite, scale int) (*Figure, error) {
 	configs := []diag.Config{diag.F4C2(), diag.F4C16(), diag.F4C32()}
 	series := []string{"DiAG-32", "DiAG-256", "DiAG-512"}
-	fig := &Figure{ID: id, Title: title, Series: series}
-	for _, w := range workloads.BySuite(suite) {
+	ws := workloads.BySuite(suite)
+	var jobs []exp.Job
+	for _, w := range ws {
 		p := workloads.Params{Scale: scale, Threads: 1}
-		base, err := runOoO(w, p, ooo.Baseline())
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, oooJob(w, p, ooo.Baseline()))
+		for _, cfg := range configs {
+			jobs = append(jobs, diagJob(w, p, cfg))
 		}
+	}
+	res, err := r.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: id, Title: title, Series: series}
+	stride := 1 + len(configs)
+	for wi, w := range ws {
+		base := res[wi*stride].Value.(ooo.Stats)
 		e := Entry{Workload: w.Name, Class: w.Class, Values: map[string]float64{}}
-		for i, cfg := range configs {
-			st, err := runDiAG(w, p, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for i := range configs {
+			st := res[wi*stride+1+i].Value.(diag.Stats)
 			e.Values[series[i]] = stats.Ratio(float64(base.Cycles), float64(st.Cycles))
 		}
 		fig.Entries = append(fig.Entries, e)
@@ -143,28 +267,43 @@ func singleThread(id, title string, suite workloads.Suite, scale int) (*Figure, 
 
 // multiThread builds the Fig-9b/10b experiment: the 16-by-2 DiAG machine
 // (with and without SIMT pipelining) against the 12-core baseline.
-func multiThread(id, title string, suite workloads.Suite, scale int) (*Figure, error) {
+func (r *Runner) multiThread(id, title string, suite workloads.Suite, scale int) (*Figure, error) {
 	series := []string{"DiAG-512-16x2", "DiAG-512-16x2+SIMT"}
-	fig := &Figure{ID: id, Title: title, Series: series}
 	diagCfg := diag.MultiRing(diag.F4C32(), MultiThreadRings, 2)
 	baseCfg := ooo.BaselineMulticore(MultiThreadCores)
-	for _, w := range workloads.BySuite(suite) {
-		base, err := runOoO(w, workloads.Params{Scale: scale, Threads: MultiThreadCores}, baseCfg)
-		if err != nil {
-			return nil, err
-		}
-		e := Entry{Workload: w.Name, Class: w.Class, Values: map[string]float64{}}
-		st, err := runDiAG(w, workloads.Params{Scale: scale, Threads: MultiThreadRings}, diagCfg)
-		if err != nil {
-			return nil, err
-		}
-		e.Values[series[0]] = stats.Ratio(float64(base.Cycles), float64(st.Cycles))
+	ws := workloads.BySuite(suite)
+	// Jobs per workload: baseline, plain DiAG, and (if SIMT-capable) the
+	// pipelined form; slots records each workload's job indices.
+	type slot struct{ base, plain, simt int }
+	var (
+		jobs  []exp.Job
+		slots []slot
+	)
+	for _, w := range ws {
+		s := slot{base: len(jobs), simt: -1}
+		jobs = append(jobs, oooJob(w, workloads.Params{Scale: scale, Threads: MultiThreadCores}, baseCfg))
+		s.plain = len(jobs)
+		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings}, diagCfg))
 		if w.SIMTCapable {
-			st, err = runDiAG(w, workloads.Params{Scale: scale, Threads: MultiThreadRings, SIMT: true}, diagCfg)
-			if err != nil {
-				return nil, err
-			}
-			e.Values[series[1]] = stats.Ratio(float64(base.Cycles), float64(st.Cycles))
+			s.simt = len(jobs)
+			jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings, SIMT: true}, diagCfg))
+		}
+		slots = append(slots, s)
+	}
+	res, err := r.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: id, Title: title, Series: series}
+	for wi, w := range ws {
+		s := slots[wi]
+		base := res[s.base].Value.(ooo.Stats)
+		e := Entry{Workload: w.Name, Class: w.Class, Values: map[string]float64{}}
+		plain := res[s.plain].Value.(diag.Stats)
+		e.Values[series[0]] = stats.Ratio(float64(base.Cycles), float64(plain.Cycles))
+		if s.simt >= 0 {
+			simt := res[s.simt].Value.(diag.Stats)
+			e.Values[series[1]] = stats.Ratio(float64(base.Cycles), float64(simt.Cycles))
 		}
 		fig.Entries = append(fig.Entries, e)
 	}
@@ -173,26 +312,26 @@ func multiThread(id, title string, suite workloads.Suite, scale int) (*Figure, e
 }
 
 // Fig9a regenerates Figure 9a: Rodinia single-thread performance.
-func Fig9a(scale int) (*Figure, error) {
-	return singleThread("Fig 9a", "Rodinia single-thread relative performance vs 1 OoO core",
+func (r *Runner) Fig9a(scale int) (*Figure, error) {
+	return r.singleThread("Fig 9a", "Rodinia single-thread relative performance vs 1 OoO core",
 		workloads.Rodinia, scale)
 }
 
 // Fig9b regenerates Figure 9b: Rodinia multi-thread performance.
-func Fig9b(scale int) (*Figure, error) {
-	return multiThread("Fig 9b", "Rodinia multi-thread relative performance vs 12-core OoO",
+func (r *Runner) Fig9b(scale int) (*Figure, error) {
+	return r.multiThread("Fig 9b", "Rodinia multi-thread relative performance vs 12-core OoO",
 		workloads.Rodinia, scale)
 }
 
 // Fig10a regenerates Figure 10a: SPEC single-thread performance.
-func Fig10a(scale int) (*Figure, error) {
-	return singleThread("Fig 10a", "SPEC CPU2017 single-thread relative performance vs 1 OoO core",
+func (r *Runner) Fig10a(scale int) (*Figure, error) {
+	return r.singleThread("Fig 10a", "SPEC CPU2017 single-thread relative performance vs 1 OoO core",
 		workloads.SPEC, scale)
 }
 
 // Fig10b regenerates Figure 10b: SPEC multi-thread performance.
-func Fig10b(scale int) (*Figure, error) {
-	return multiThread("Fig 10b", "SPEC CPU2017 multi-thread relative performance vs 12-core OoO",
+func (r *Runner) Fig10b(scale int) (*Figure, error) {
+	return r.multiThread("Fig 10b", "SPEC CPU2017 multi-thread relative performance vs 12-core OoO",
 		workloads.SPEC, scale)
 }
 
@@ -200,19 +339,28 @@ func Fig10b(scale int) (*Figure, error) {
 var Fig11Benchmarks = []string{"hotspot", "kmeans", "bfs", "nw"}
 
 // Fig11 regenerates Figure 11: energy breakdown (%) by component.
-func Fig11(scale int) (*Figure, error) {
+func (r *Runner) Fig11(scale int) (*Figure, error) {
 	series := []string{"FP Unit", "Reg Lanes+ALU", "Memory", "Control"}
 	fig := &Figure{ID: "Fig 11", Title: "DiAG energy breakdown (%) by hardware component (F4C32)", Series: series}
 	cfg := diag.F4C32()
+	var (
+		jobs []exp.Job
+		ws   []workloads.Workload
+	)
 	for _, name := range Fig11Benchmarks {
 		w, ok := workloads.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("bench: unknown Fig 11 benchmark %q", name)
 		}
-		st, err := runDiAG(w, workloads.Params{Scale: scale, Threads: 1}, cfg)
-		if err != nil {
-			return nil, err
-		}
+		ws = append(ws, w)
+		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: 1}, cfg))
+	}
+	res, err := r.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		st := res[wi].Value.(diag.Stats)
 		sh := power.DiAGEnergy(cfg, st).Share()
 		fig.Entries = append(fig.Entries, Entry{
 			Workload: w.Name, Class: w.Class,
@@ -229,47 +377,54 @@ func Fig11(scale int) (*Figure, error) {
 // Fig12 regenerates Figure 12: Rodinia energy-efficiency improvement
 // (inverse total energy vs the baseline) for single-thread, multi-thread,
 // and multi-thread+SIMT execution.
-func Fig12(scale int) (*Figure, error) {
+func (r *Runner) Fig12(scale int) (*Figure, error) {
 	series := []string{"single", "multi", "multi+SIMT"}
 	fig := &Figure{ID: "Fig 12", Title: "Rodinia energy-efficiency improvement vs OoO baseline", Series: series}
 	single := diag.F4C32()
 	multi := diag.MultiRing(diag.F4C32(), MultiThreadRings, 2)
 	base1 := ooo.Baseline()
 	baseN := ooo.BaselineMulticore(MultiThreadCores)
-	for _, w := range workloads.BySuite(workloads.Rodinia) {
+	ws := workloads.BySuite(workloads.Rodinia)
+	// Jobs per workload: 1-core baseline, single-thread DiAG, 12-core
+	// baseline, multi-thread DiAG, and (if capable) the SIMT form.
+	type slot struct{ b1, d1, bn, dm, ds int }
+	var (
+		jobs  []exp.Job
+		slots []slot
+	)
+	for _, w := range ws {
+		s := slot{ds: -1}
+		s.b1 = len(jobs)
+		jobs = append(jobs, oooJob(w, workloads.Params{Scale: scale, Threads: 1}, base1))
+		s.d1 = len(jobs)
+		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: 1}, single))
+		s.bn = len(jobs)
+		jobs = append(jobs, oooJob(w, workloads.Params{Scale: scale, Threads: MultiThreadCores}, baseN))
+		s.dm = len(jobs)
+		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings}, multi))
+		if w.SIMTCapable {
+			s.ds = len(jobs)
+			jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings, SIMT: true}, multi))
+		}
+		slots = append(slots, s)
+	}
+	res, err := r.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		s := slots[wi]
 		e := Entry{Workload: w.Name, Class: w.Class, Values: map[string]float64{}}
-
-		p1 := workloads.Params{Scale: scale, Threads: 1}
-		b1, err := runOoO(w, p1, base1)
-		if err != nil {
-			return nil, err
-		}
-		d1, err := runDiAG(w, p1, single)
-		if err != nil {
-			return nil, err
-		}
+		b1 := res[s.b1].Value.(ooo.Stats)
+		d1 := res[s.d1].Value.(diag.Stats)
 		e.Values["single"] = power.Efficiency(
 			power.DiAGEnergy(single, d1), power.OoOEnergy(base1, b1, single.FreqMHz))
-
-		pn := workloads.Params{Scale: scale, Threads: MultiThreadCores}
-		bn, err := runOoO(w, pn, baseN)
-		if err != nil {
-			return nil, err
-		}
-		pm := workloads.Params{Scale: scale, Threads: MultiThreadRings}
-		dm, err := runDiAG(w, pm, multi)
-		if err != nil {
-			return nil, err
-		}
+		bn := res[s.bn].Value.(ooo.Stats)
+		dm := res[s.dm].Value.(diag.Stats)
 		e.Values["multi"] = power.Efficiency(
 			power.DiAGEnergy(multi, dm), power.OoOEnergy(baseN, bn, multi.FreqMHz))
-
-		if w.SIMTCapable {
-			ps := workloads.Params{Scale: scale, Threads: MultiThreadRings, SIMT: true}
-			ds, err := runDiAG(w, ps, multi)
-			if err != nil {
-				return nil, err
-			}
+		if s.ds >= 0 {
+			ds := res[s.ds].Value.(diag.Stats)
 			e.Values["multi+SIMT"] = power.Efficiency(
 				power.DiAGEnergy(multi, ds), power.OoOEnergy(baseN, bn, multi.FreqMHz))
 		}
@@ -282,16 +437,22 @@ func Fig12(scale int) (*Figure, error) {
 // StallBreakdown regenerates the §7.3.2 statistic: shares of stall
 // sources averaged across the Rodinia benchmarks on F4C32 (paper: 73.6%
 // memory, 21.1% control, 5.3% other).
-func StallBreakdown(scale int) (*Figure, error) {
+func (r *Runner) StallBreakdown(scale int) (*Figure, error) {
 	series := []string{"memory %", "control %", "other %"}
 	fig := &Figure{ID: "§7.3.2", Title: "DiAG stall-source breakdown (F4C32, Rodinia)", Series: series}
 	cfg := diag.F4C32()
+	ws := workloads.BySuite(workloads.Rodinia)
+	var jobs []exp.Job
+	for _, w := range ws {
+		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: 1}, cfg))
+	}
+	res, err := r.run(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var agg diag.Stats
-	for _, w := range workloads.BySuite(workloads.Rodinia) {
-		st, err := runDiAG(w, workloads.Params{Scale: scale, Threads: 1}, cfg)
-		if err != nil {
-			return nil, err
-		}
+	for wi, w := range ws {
+		st := res[wi].Value.(diag.Stats)
 		fig.Entries = append(fig.Entries, Entry{
 			Workload: w.Name, Class: w.Class,
 			Values: map[string]float64{
@@ -313,6 +474,84 @@ func StallBreakdown(scale int) (*Figure, error) {
 	fig.computeMeans()
 	return fig, nil
 }
+
+// ScalingSweep measures one workload across machines of growing cluster
+// count (32..512 PEs and beyond if asked), supporting the paper's
+// §7.2.1 observation that serial performance saturates past 256 PEs
+// "much like large ROB sizes". Relative performance is against the
+// single-core baseline.
+func (r *Runner) ScalingSweep(name string, clusterCounts []int, scale int) (*Figure, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown workload %q", name)
+	}
+	p := workloads.Params{Scale: scale, Threads: 1}
+	jobs := []exp.Job{oooJob(w, p, ooo.Baseline())}
+	var cfgs []diag.Config
+	for _, n := range clusterCounts {
+		cfg := diag.F4C32()
+		cfg.Clusters = n
+		cfg.Name = fmt.Sprintf("C%d", n)
+		cfgs = append(cfgs, cfg)
+		jobs = append(jobs, diagJob(w, p, cfg))
+	}
+	res, err := r.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := res[0].Value.(ooo.Stats)
+	fig := &Figure{
+		ID:     "sweep",
+		Title:  fmt.Sprintf("%s: relative performance vs cluster count (PE scaling)", name),
+		Series: []string{"rel. perf", "IPC", "reuse hits", "lines fetched"},
+	}
+	for i, cfg := range cfgs {
+		st := res[1+i].Value.(diag.Stats)
+		fig.Entries = append(fig.Entries, Entry{
+			Workload: fmt.Sprintf("%d clusters (%d PEs)", cfg.Clusters, cfg.TotalPEs()),
+			Class:    w.Class,
+			Values: map[string]float64{
+				"rel. perf":     stats.Ratio(float64(base.Cycles), float64(st.Cycles)),
+				"IPC":           st.IPC(),
+				"reuse hits":    float64(st.ReuseHits),
+				"lines fetched": float64(st.LinesFetched),
+			},
+		})
+	}
+	fig.computeMeans()
+	return fig, nil
+}
+
+// ---- serial package-level generators (legacy surface) ----
+
+// Fig9a regenerates Figure 9a serially; use a Runner for parallel,
+// cancellable regeneration.
+func Fig9a(scale int) (*Figure, error) { return serialRunner().Fig9a(scale) }
+
+// Fig9b regenerates Figure 9b serially.
+func Fig9b(scale int) (*Figure, error) { return serialRunner().Fig9b(scale) }
+
+// Fig10a regenerates Figure 10a serially.
+func Fig10a(scale int) (*Figure, error) { return serialRunner().Fig10a(scale) }
+
+// Fig10b regenerates Figure 10b serially.
+func Fig10b(scale int) (*Figure, error) { return serialRunner().Fig10b(scale) }
+
+// Fig11 regenerates Figure 11 serially.
+func Fig11(scale int) (*Figure, error) { return serialRunner().Fig11(scale) }
+
+// Fig12 regenerates Figure 12 serially.
+func Fig12(scale int) (*Figure, error) { return serialRunner().Fig12(scale) }
+
+// StallBreakdown regenerates the §7.3.2 breakdown serially.
+func StallBreakdown(scale int) (*Figure, error) { return serialRunner().StallBreakdown(scale) }
+
+// ScalingSweep measures PE scaling serially.
+func ScalingSweep(name string, clusterCounts []int, scale int) (*Figure, error) {
+	return serialRunner().ScalingSweep(name, clusterCounts, scale)
+}
+
+// ---- tables ----
 
 // Table1 renders the paper's Table 1: how each pipeline stage/structure
 // is realized on the baseline and on DiAG before and during reuse (§5.3).
@@ -358,6 +597,8 @@ func Table3() *stats.Table {
 	return power.DiAGArea(diag.F4C32()).Table()
 }
 
+// ---- convenience entry points ----
+
 // RunWorkloadOnce is a convenience for examples and the CLI: run one
 // workload on both machines and return (diag stats, baseline stats).
 func RunWorkloadOnce(name string, p workloads.Params, cfg diag.Config) (diag.Stats, ooo.Stats, error) {
@@ -365,7 +606,8 @@ func RunWorkloadOnce(name string, p workloads.Params, cfg diag.Config) (diag.Sta
 	if !ok {
 		return diag.Stats{}, ooo.Stats{}, fmt.Errorf("bench: unknown workload %q", name)
 	}
-	d, err := runDiAG(w, p, cfg)
+	ctx := context.Background()
+	d, err := runDiAG(ctx, w, p, cfg)
 	if err != nil {
 		return diag.Stats{}, ooo.Stats{}, err
 	}
@@ -373,7 +615,7 @@ func RunWorkloadOnce(name string, p workloads.Params, cfg diag.Config) (diag.Sta
 	if p.Threads > 1 {
 		baseCfg = ooo.BaselineMulticore(p.Threads)
 	}
-	b, err := runOoO(w, p, baseCfg)
+	b, err := runOoO(ctx, w, p, baseCfg)
 	if err != nil {
 		return diag.Stats{}, ooo.Stats{}, err
 	}
@@ -414,49 +656,6 @@ func (f *Figure) CSV() string {
 	}
 	row("geomean", "", f.Means)
 	return b.String()
-}
-
-// ScalingSweep measures one workload across machines of growing cluster
-// count (32..512 PEs and beyond if asked), supporting the paper's
-// §7.2.1 observation that serial performance saturates past 256 PEs
-// "much like large ROB sizes". Relative performance is against the
-// single-core baseline.
-func ScalingSweep(name string, clusterCounts []int, scale int) (*Figure, error) {
-	w, ok := workloads.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("bench: unknown workload %q", name)
-	}
-	p := workloads.Params{Scale: scale, Threads: 1}
-	base, err := runOoO(w, p, ooo.Baseline())
-	if err != nil {
-		return nil, err
-	}
-	fig := &Figure{
-		ID:     "sweep",
-		Title:  fmt.Sprintf("%s: relative performance vs cluster count (PE scaling)", name),
-		Series: []string{"rel. perf", "IPC", "reuse hits", "lines fetched"},
-	}
-	for _, n := range clusterCounts {
-		cfg := diag.F4C32()
-		cfg.Clusters = n
-		cfg.Name = fmt.Sprintf("C%d", n)
-		st, err := runDiAG(w, p, cfg)
-		if err != nil {
-			return nil, err
-		}
-		fig.Entries = append(fig.Entries, Entry{
-			Workload: fmt.Sprintf("%d clusters (%d PEs)", n, cfg.TotalPEs()),
-			Class:    w.Class,
-			Values: map[string]float64{
-				"rel. perf":     stats.Ratio(float64(base.Cycles), float64(st.Cycles)),
-				"IPC":           st.IPC(),
-				"reuse hits":    float64(st.ReuseHits),
-				"lines fetched": float64(st.LinesFetched),
-			},
-		})
-	}
-	fig.computeMeans()
-	return fig, nil
 }
 
 // Describe returns the workload inventory as a table.

@@ -80,6 +80,10 @@ type Config struct {
 	// MaxInstructions bounds a run (0 = default cap).
 	MaxInstructions uint64
 
+	// MaxCycles bounds a run's simulated cycle count (0 = unbounded).
+	// Exceeding it fails the run with diagerr.ErrMaxCycles.
+	MaxCycles int64
+
 	// Optional extensions (paper future work; see internal/diag/extensions.go).
 	StridePrefetch       bool // §5.2: PE-local stride prefetch into memory lanes
 	SharedFPUs           int  // §7.5: FPUs shared per cluster (0 = one per PE)

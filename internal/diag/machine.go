@@ -1,13 +1,21 @@
 package diag
 
 import (
+	"context"
 	"fmt"
 
 	"diag/internal/cache"
+	"diag/internal/diagerr"
 	"diag/internal/isa"
 	"diag/internal/iss"
 	"diag/internal/mem"
 )
+
+// ctxPollInterval is how many retired instructions pass between context
+// polls in the run loops; a power of two so the check compiles to a
+// mask. 4096 instructions simulate in well under a millisecond, so
+// cancellation latency stays negligible next to any job's duration.
+const ctxPollInterval = 4096
 
 // operandSrc records who produced the current value of a register lane.
 type operandSrc struct {
@@ -209,10 +217,29 @@ func (r *Ring) ensure(pc uint32, earliest int64) (int, int64) {
 
 // Run executes until the program halts or the instruction cap is reached.
 // It returns an error if the CPU halted abnormally.
-func (r *Ring) Run() error {
+func (r *Ring) Run() error { return r.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: the ring polls ctx every
+// ctxPollInterval retired instructions and aborts with the context's
+// error (deadline expiry mapped to diagerr.ErrTimeout), so a cancelled
+// run returns within microseconds rather than simulating to completion.
+// It also enforces the optional Config.MaxCycles budget.
+func (r *Ring) RunContext(ctx context.Context) error {
 	cfg := r.cfg
+	done := ctx.Done()
 	r.ensure(r.cpu.PC, 0)
-	for !r.cpu.Halted && r.stats.Retired < cfg.MaxInstructions {
+	for steps := uint64(0); !r.cpu.Halted && r.stats.Retired < cfg.MaxInstructions; steps++ {
+		if steps&(ctxPollInterval-1) == 0 {
+			select {
+			case <-done:
+				return diagerr.FromContext(ctx.Err())
+			default:
+			}
+		}
+		if cfg.MaxCycles > 0 && r.now > cfg.MaxCycles {
+			return diagerr.Wrap(diagerr.ErrMaxCycles,
+				"diag: cycle budget %d exceeded after %d retired instructions", cfg.MaxCycles, r.stats.Retired)
+		}
 		pc := r.cpu.PC
 		ci := r.findCluster(pc)
 		if ci < 0 {
@@ -449,7 +476,8 @@ func (r *Ring) Run() error {
 		return fmt.Errorf("diag: %w", r.cpu.Err)
 	}
 	if r.stats.Retired >= cfg.MaxInstructions && !r.cpu.Halted {
-		return fmt.Errorf("diag: instruction cap %d reached before halt", cfg.MaxInstructions)
+		return diagerr.Wrap(diagerr.ErrMaxInstructions,
+			"diag: instruction cap %d reached before halt", cfg.MaxInstructions)
 	}
 	return nil
 }

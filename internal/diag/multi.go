@@ -1,6 +1,8 @@
 package diag
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"diag/internal/cache"
@@ -85,10 +87,18 @@ func (m *Machine) Ring(i int) *Ring { return m.rings[i] }
 // shape of the Rodinia kernels the paper evaluates). Timing is computed
 // independently per ring over the shared L2, and the machine's cycle
 // count is the slowest ring.
-func (m *Machine) Run() error {
+func (m *Machine) Run() error { return m.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation and budget enforcement: each ring
+// polls ctx while it executes, so cancelling aborts the machine within
+// a few thousand simulated instructions.
+func (m *Machine) RunContext(ctx context.Context) error {
 	m.stats = Stats{}
 	for i, r := range m.rings {
-		if err := r.Run(); err != nil {
+		if err := r.RunContext(ctx); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err // not the ring's fault; keep the error unadorned
+			}
 			return fmt.Errorf("ring %d: %w", i, err)
 		}
 		m.stats.Merge(r.Stats())
@@ -106,11 +116,16 @@ func (m *Machine) Stats() Stats { return m.stats }
 // RunImage is the one-call convenience: build a machine, run it, return
 // the stats and final memory.
 func RunImage(cfg Config, img *mem.Image) (Stats, *mem.Memory, error) {
+	return RunImageContext(context.Background(), cfg, img)
+}
+
+// RunImageContext is RunImage with cancellation.
+func RunImageContext(ctx context.Context, cfg Config, img *mem.Image) (Stats, *mem.Memory, error) {
 	mach, err := NewMachine(cfg, img)
 	if err != nil {
 		return Stats{}, nil, err
 	}
-	if err := mach.Run(); err != nil {
+	if err := mach.RunContext(ctx); err != nil {
 		return Stats{}, nil, err
 	}
 	return mach.Stats(), mach.Mem(), nil

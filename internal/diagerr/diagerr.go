@@ -1,0 +1,70 @@
+// Package diagerr defines the error taxonomy shared by every machine
+// model and the public diag API. Each failure mode has a sentinel that
+// callers test with errors.Is:
+//
+//	ErrTimeout         — a run exceeded its wall-clock budget (context
+//	                     deadline or per-job sweep timeout);
+//	ErrMaxCycles       — a run exceeded its simulated-cycle budget;
+//	ErrMaxInstructions — a run exceeded its retired-instruction budget;
+//	ErrBadProgram      — the program itself is broken (undecodable
+//	                     instruction, misaligned access, unsupported
+//	                     system call, malformed SIMT region).
+//
+// The concrete errors the simulators return carry human-readable
+// messages ("iss: misaligned lw at 0x104 (PC 0x40)") and match the
+// sentinel via Unwrap, so existing message-based diagnostics keep
+// working while errors.Is gains precision.
+package diagerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Taxonomy sentinels. Compare with errors.Is, never ==, so wrapped
+// messages match too.
+var (
+	ErrTimeout         = errors.New("simulation timed out")
+	ErrMaxCycles       = errors.New("cycle budget exceeded")
+	ErrMaxInstructions = errors.New("instruction budget exceeded")
+	ErrBadProgram      = errors.New("bad program")
+)
+
+// taggedError is a formatted message that matches one or more taxonomy
+// sentinels under errors.Is without the sentinel text polluting the
+// message.
+type taggedError struct {
+	msg  string
+	tags []error
+}
+
+func (e *taggedError) Error() string   { return e.msg }
+func (e *taggedError) Unwrap() []error { return e.tags }
+
+// Wrap builds an error whose message is the formatted text and which
+// matches sentinel under errors.Is.
+func Wrap(sentinel error, format string, args ...any) error {
+	return &taggedError{msg: fmt.Sprintf(format, args...), tags: []error{sentinel}}
+}
+
+// Timeout builds a timeout error that also matches cause (typically
+// context.DeadlineExceeded) under errors.Is.
+func Timeout(cause error, format string, args ...any) error {
+	tags := []error{ErrTimeout}
+	if cause != nil {
+		tags = append(tags, cause)
+	}
+	return &taggedError{msg: fmt.Sprintf(format, args...), tags: tags}
+}
+
+// FromContext maps a context error into the taxonomy: deadline expiry
+// becomes a timeout that still matches context.DeadlineExceeded, while
+// plain cancellation passes through unchanged so errors.Is(err,
+// context.Canceled) keeps working.
+func FromContext(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrTimeout) {
+		return Timeout(err, "simulation timed out: %v", err)
+	}
+	return err
+}

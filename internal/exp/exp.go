@@ -1,0 +1,197 @@
+// Package exp is the parallel experiment engine: it fans independent
+// simulation jobs (workload × config × scale) across a bounded pool of
+// goroutines. Every paper figure is a sweep of such jobs, and machine
+// models are single-threaded, so the sweep — not the simulator — is the
+// natural parallelism lever (the partition-and-parallelize approach of
+// large-scale simulators like GSIM).
+//
+// Guarantees:
+//
+//   - deterministic ordering: Run returns results indexed exactly like
+//     the submitted jobs, regardless of completion order, so figure
+//     tables built from a parallel sweep are byte-identical to serial;
+//   - cancellation: once ctx is done no new job starts, in-flight jobs
+//     see their context cancelled, and Run returns within one job's
+//     duration (machine models poll their context);
+//   - per-job timeouts: Options.Timeout bounds each job; an expired job
+//     fails with an error matching diagerr.ErrTimeout while the rest of
+//     the sweep continues;
+//   - panic isolation: a wedged or buggy machine model fails its own
+//     job with a captured stack trace instead of killing the sweep.
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"diag/internal/diagerr"
+)
+
+// Job is one independent unit of simulation work.
+type Job struct {
+	// Name labels the job in progress reports and error messages,
+	// conventionally "workload/config".
+	Name string
+	// Run performs the work. It must honor ctx: once ctx is done it
+	// should return promptly (machine models poll their context every
+	// few thousand retired instructions).
+	Run func(ctx context.Context) (any, error)
+}
+
+// Result is the outcome of one job. Run returns results in job order.
+type Result struct {
+	Name    string
+	Index   int // position in the submitted slice
+	Value   any // what Job.Run returned; nil on error
+	Err     error
+	Elapsed time.Duration
+}
+
+// Progress is delivered to Options.OnProgress after each job finishes.
+type Progress struct {
+	Name    string // the job that just finished
+	Index   int    // its position in the submitted slice
+	Done    int    // jobs finished so far, including this one
+	Total   int    // jobs submitted
+	Err     error  // the job's error, if any
+	Elapsed time.Duration
+}
+
+// Options configure a sweep.
+type Options struct {
+	// Workers bounds the number of jobs in flight; <= 0 uses
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout bounds each job's wall-clock time (0 = unbounded). An
+	// expired job fails with an error matching diagerr.ErrTimeout.
+	Timeout time.Duration
+	// OnProgress, when non-nil, observes every completed job. Calls are
+	// serialized; keep the callback cheap.
+	OnProgress func(Progress)
+}
+
+// Run executes jobs across a bounded worker pool and returns one result
+// per job, in submission order. Per-job failures are reported in the
+// results, not as Run's error; Run itself only fails when ctx is done,
+// in which case jobs that never started carry the context's error.
+func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// Feed indices; stop feeding the moment ctx is done.
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range jobs {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		mu   sync.Mutex
+		done int
+		ran  = make([]bool, len(jobs))
+	)
+	finish := func(i int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = r
+		ran[i] = true
+		done++
+		if opt.OnProgress != nil {
+			opt.OnProgress(Progress{
+				Name: r.Name, Index: i, Done: done, Total: len(jobs),
+				Err: r.Err, Elapsed: r.Elapsed,
+			})
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				if err := ctx.Err(); err != nil {
+					// The sweep was cancelled while this index was already
+					// in the feed: record it without invoking the job.
+					finish(i, Result{Name: jobs[i].Name, Index: i, Err: diagerr.FromContext(err)})
+					continue
+				}
+				finish(i, runOne(ctx, jobs[i], i, opt.Timeout))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		err = diagerr.FromContext(err)
+		for i := range results {
+			if !ran[i] {
+				results[i] = Result{Name: jobs[i].Name, Index: i, Err: err}
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// runOne executes a single job with its own deadline and panic recovery.
+func runOne(ctx context.Context, j Job, idx int, timeout time.Duration) (res Result) {
+	res = Result{Name: j.Name, Index: idx}
+	jctx := ctx
+	cancel := func() {}
+	if timeout > 0 {
+		jctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			res.Value = nil
+			res.Err = fmt.Errorf("exp: job %q panicked: %v\n%s", j.Name, p, debug.Stack())
+		}
+		// If the job's own deadline (not the sweep's context) expired,
+		// surface it as a timeout even when the job returned a bare
+		// context error or a partial failure of its own.
+		if res.Err != nil && ctx.Err() == nil &&
+			errors.Is(jctx.Err(), context.DeadlineExceeded) &&
+			!errors.Is(res.Err, diagerr.ErrTimeout) {
+			res.Err = diagerr.Timeout(res.Err, "exp: job %q timed out after %v: %v", j.Name, timeout, res.Err)
+		}
+	}()
+	res.Value, res.Err = j.Run(jctx)
+	if res.Err != nil {
+		res.Value = nil
+	}
+	return
+}
+
+// FirstErr returns the first per-job error in submission order, or nil.
+func FirstErr(results []Result) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}

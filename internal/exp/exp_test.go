@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diag/internal/diagerr"
+)
+
+// TestDeterministicOrder: results come back indexed like the submitted
+// jobs no matter how many workers race.
+func TestDeterministicOrder(t *testing.T) {
+	const n = 64
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%d", i),
+			Run: func(context.Context) (any, error) {
+				if i%3 == 0 { // stagger completion order
+					time.Sleep(time.Millisecond)
+				}
+				return i * 10, nil
+			},
+		}
+	}
+	res, err := Run(context.Background(), jobs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Index != i || r.Name != jobs[i].Name || r.Value != i*10 || r.Err != nil {
+			t.Fatalf("result %d out of order: %+v", i, r)
+		}
+	}
+}
+
+// TestCancellationMidSweep: cancelling the sweep context stops feeding
+// new jobs, unblocks in-flight ones, and marks never-started jobs with
+// the context error.
+func TestCancellationMidSweep(t *testing.T) {
+	const workers, n = 4, 16
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan int, n)
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%d", i),
+			Run: func(jctx context.Context) (any, error) {
+				started <- i
+				<-jctx.Done() // a well-behaved machine model polls ctx
+				return nil, jctx.Err()
+			},
+		}
+	}
+	type outcome struct {
+		res []Result
+		err error
+	}
+	doneCh := make(chan outcome, 1)
+	go func() {
+		res, err := Run(ctx, jobs, Options{Workers: workers})
+		doneCh <- outcome{res, err}
+	}()
+	for i := 0; i < workers; i++ {
+		<-started // all workers are mid-job
+	}
+	cancel()
+	var out outcome
+	select {
+	case out = <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sweep did not return after cancellation")
+	}
+	if !errors.Is(out.err, context.Canceled) {
+		t.Fatalf("sweep error = %v, want context.Canceled", out.err)
+	}
+	ranErr, skippedErr := 0, 0
+	for _, r := range out.res {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("job %d error = %v, want context.Canceled", r.Index, r.Err)
+		}
+		if r.Elapsed > 0 {
+			ranErr++
+		} else {
+			skippedErr++
+		}
+	}
+	if ranErr < workers || skippedErr == 0 {
+		t.Fatalf("expected %d+ cancelled in-flight and some never-started jobs, got %d/%d", workers, ranErr, skippedErr)
+	}
+}
+
+// TestPerJobTimeout: a job exceeding Options.Timeout fails with
+// ErrTimeout while the rest of the sweep completes normally.
+func TestPerJobTimeout(t *testing.T) {
+	jobs := []Job{
+		{Name: "fast", Run: func(context.Context) (any, error) { return "ok", nil }},
+		{Name: "slow", Run: func(ctx context.Context) (any, error) {
+			<-ctx.Done()
+			return "partial", ctx.Err()
+		}},
+		{Name: "fast2", Run: func(context.Context) (any, error) { return "ok", nil }},
+	}
+	res, err := Run(context.Background(), jobs, Options{Workers: 1, Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v / %v", res[0].Err, res[2].Err)
+	}
+	if !errors.Is(res[1].Err, diagerr.ErrTimeout) {
+		t.Fatalf("slow job error = %v, want ErrTimeout", res[1].Err)
+	}
+	if !errors.Is(res[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("slow job error = %v, should also match context.DeadlineExceeded", res[1].Err)
+	}
+	if res[1].Value != nil {
+		t.Fatalf("timed-out job leaked a partial value: %v", res[1].Value)
+	}
+}
+
+// TestPanicIsolation: one panicking job (a wedged machine model) must
+// not take down the sweep.
+func TestPanicIsolation(t *testing.T) {
+	jobs := []Job{
+		{Name: "good-0", Run: func(context.Context) (any, error) { return 0, nil }},
+		{Name: "wedged", Run: func(context.Context) (any, error) { panic("machine model wedged") }},
+		{Name: "good-2", Run: func(context.Context) (any, error) { return 2, nil }},
+	}
+	res, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v / %v", res[0].Err, res[2].Err)
+	}
+	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "panicked") ||
+		!strings.Contains(res[1].Err.Error(), "machine model wedged") {
+		t.Fatalf("panic not captured: %v", res[1].Err)
+	}
+	if !strings.Contains(res[1].Err.Error(), "exp_test.go") {
+		t.Fatalf("panic error missing stack trace: %v", res[1].Err)
+	}
+}
+
+// TestProgressCallback: OnProgress fires once per job with a monotonic
+// Done counter, serialized.
+func TestProgressCallback(t *testing.T) {
+	const n = 20
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (any, error) { return nil, nil }}
+	}
+	var calls int32
+	lastDone := 0
+	_, err := Run(context.Background(), jobs, Options{
+		Workers: 4,
+		OnProgress: func(p Progress) {
+			atomic.AddInt32(&calls, 1)
+			if p.Done != lastDone+1 || p.Total != n {
+				t.Errorf("progress %d/%d after %d", p.Done, p.Total, lastDone)
+			}
+			lastDone = p.Done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != n {
+		t.Fatalf("OnProgress fired %d times, want %d", calls, n)
+	}
+}
+
+// TestEmptySweep and default workers.
+func TestEmptySweep(t *testing.T) {
+	res, err := Run(context.Background(), nil, Options{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty sweep: %v %v", res, err)
+	}
+}
+
+func TestFirstErr(t *testing.T) {
+	boom := errors.New("boom")
+	res := []Result{{}, {Err: boom}, {Err: errors.New("later")}}
+	if FirstErr(res) != boom {
+		t.Fatal("FirstErr should return the first error in submission order")
+	}
+	if FirstErr(res[:1]) != nil {
+		t.Fatal("FirstErr on clean results should be nil")
+	}
+}

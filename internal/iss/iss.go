@@ -15,9 +15,9 @@
 package iss
 
 import (
-	"fmt"
 	"math"
 
+	"diag/internal/diagerr"
 	"diag/internal/isa"
 	"diag/internal/mem"
 )
@@ -84,9 +84,13 @@ func (c *CPU) FReg(f isa.Reg) float32 { return math.Float32frombits(c.F[f]) }
 // SetFReg sets FP register f from a float32.
 func (c *CPU) SetFReg(f isa.Reg, v float32) { c.F[f] = math.Float32bits(v) }
 
+// fail halts the CPU abnormally. Every abnormal halt is a defect of the
+// program itself (undecodable word, misaligned access, unsupported
+// system call, malformed SIMT region), so the error carries the
+// diagerr.ErrBadProgram taxonomy tag for errors.Is.
 func (c *CPU) fail(format string, args ...any) Exec {
 	c.Halted = true
-	c.Err = fmt.Errorf(format, args...)
+	c.Err = diagerr.Wrap(diagerr.ErrBadProgram, format, args...)
 	return Exec{PC: c.PC, NextPC: c.PC}
 }
 

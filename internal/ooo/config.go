@@ -48,6 +48,10 @@ type Config struct {
 	DRAMLatency int
 
 	MaxInstructions uint64
+
+	// MaxCycles bounds a run's simulated cycle count (0 = unbounded).
+	// Exceeding it fails the run with diagerr.ErrMaxCycles.
+	MaxCycles int64
 }
 
 func (c *Config) setDefaults() {

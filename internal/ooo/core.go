@@ -1,10 +1,12 @@
 package ooo
 
 import (
+	"context"
 	"fmt"
 
 	"diag/internal/branch"
 	"diag/internal/cache"
+	"diag/internal/diagerr"
 	"diag/internal/isa"
 	"diag/internal/iss"
 	"diag/internal/mem"
@@ -216,10 +218,32 @@ func (c *Core) pool(op isa.Op) *fuPool {
 	}
 }
 
+// ctxPollInterval matches the DiAG ring's polling cadence: check the
+// context every 4096 retired instructions (a power of two, so the test
+// is a mask), keeping cancellation latency well under a millisecond.
+const ctxPollInterval = 4096
+
 // Run executes the core's thread to completion.
-func (c *Core) Run() error {
+func (c *Core) Run() error { return c.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation and the optional Config.MaxCycles
+// budget: the core polls ctx as it retires instructions and aborts with
+// the context's error (deadline expiry mapped to diagerr.ErrTimeout).
+func (c *Core) RunContext(ctx context.Context) error {
 	cfg := c.cfg
-	for !c.cpu.Halted && c.stats.Retired < cfg.MaxInstructions {
+	done := ctx.Done()
+	for steps := uint64(0); !c.cpu.Halted && c.stats.Retired < cfg.MaxInstructions; steps++ {
+		if steps&(ctxPollInterval-1) == 0 {
+			select {
+			case <-done:
+				return diagerr.FromContext(ctx.Err())
+			default:
+			}
+		}
+		if cfg.MaxCycles > 0 && c.now > cfg.MaxCycles {
+			return diagerr.Wrap(diagerr.ErrMaxCycles,
+				"ooo: cycle budget %d exceeded after %d retired instructions", cfg.MaxCycles, c.stats.Retired)
+		}
 		pc := c.cpu.PC
 		ex := c.cpu.Step()
 		if c.cpu.Err != nil {
@@ -366,7 +390,8 @@ func (c *Core) Run() error {
 		c.stats.Retired++
 	}
 	if !c.cpu.Halted && c.stats.Retired >= cfg.MaxInstructions {
-		return fmt.Errorf("ooo: instruction cap %d reached before halt", cfg.MaxInstructions)
+		return diagerr.Wrap(diagerr.ErrMaxInstructions,
+			"ooo: instruction cap %d reached before halt", cfg.MaxInstructions)
 	}
 	return nil
 }

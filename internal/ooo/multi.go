@@ -1,6 +1,8 @@
 package ooo
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"diag/internal/cache"
@@ -74,10 +76,18 @@ func (m *Machine) Core(i int) *Core { return m.cores[i] }
 
 // Run executes every core to completion; see diag.Machine.Run for the
 // data-parallel soundness argument.
-func (m *Machine) Run() error {
+func (m *Machine) Run() error { return m.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: each core polls ctx while it
+// executes, so cancelling aborts the machine within a few thousand
+// simulated instructions.
+func (m *Machine) RunContext(ctx context.Context) error {
 	m.stats = Stats{}
 	for i, c := range m.cores {
-		if err := c.Run(); err != nil {
+		if err := c.RunContext(ctx); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err // not the core's fault; keep the error unadorned
+			}
 			return fmt.Errorf("core %d: %w", i, err)
 		}
 		m.stats.Merge(c.Stats())
@@ -94,11 +104,16 @@ func (m *Machine) Stats() Stats { return m.stats }
 
 // RunImage builds a machine, runs it, and returns stats and final memory.
 func RunImage(cfg Config, img *mem.Image) (Stats, *mem.Memory, error) {
+	return RunImageContext(context.Background(), cfg, img)
+}
+
+// RunImageContext is RunImage with cancellation.
+func RunImageContext(ctx context.Context, cfg Config, img *mem.Image) (Stats, *mem.Memory, error) {
 	mach, err := NewMachine(cfg, img)
 	if err != nil {
 		return Stats{}, nil, err
 	}
-	if err := mach.Run(); err != nil {
+	if err := mach.RunContext(ctx); err != nil {
 		return Stats{}, nil, err
 	}
 	return mach.Stats(), mach.Mem(), nil

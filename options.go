@@ -1,0 +1,243 @@
+package diag
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"diag/internal/bench"
+	idiag "diag/internal/diag"
+	"diag/internal/diagerr"
+	"diag/internal/exp"
+	"diag/internal/ooo"
+	"diag/internal/trace"
+)
+
+// ---- Error taxonomy ----
+//
+// Every failure mode of Run, RunBaseline, Interpret, and Sweep maps to
+// one of these sentinels; test with errors.Is. The concrete errors
+// carry detailed messages ("iss: misaligned lw at 0x104 (PC 0x40)") and
+// match the sentinel through wrapping.
+var (
+	// ErrTimeout: the run exceeded its wall-clock budget — a
+	// WithTimeout option, a context deadline (in which case the error
+	// also matches context.DeadlineExceeded), or a sweep's per-job
+	// timeout.
+	ErrTimeout = diagerr.ErrTimeout
+	// ErrMaxCycles: the run exceeded the WithMaxCycles budget of
+	// simulated cycles.
+	ErrMaxCycles = diagerr.ErrMaxCycles
+	// ErrMaxInstructions: the run exceeded its retired-instruction
+	// budget (WithMaxInstructions, the machine's default cap, or
+	// Interpret's maxInst bound).
+	ErrMaxInstructions = diagerr.ErrMaxInstructions
+	// ErrBadProgram: the program itself is broken — undecodable
+	// instruction, misaligned access, unsupported system call, or a
+	// malformed SIMT region.
+	ErrBadProgram = diagerr.ErrBadProgram
+)
+
+// ---- Functional run options ----
+
+// RunOption customizes Run, RunBaseline, and their Context variants:
+//
+//	st, m, err := diag.Run(cfg, p,
+//	    diag.WithContext(ctx),
+//	    diag.WithMaxCycles(1_000_000),
+//	    diag.WithTrace(os.Stderr))
+type RunOption func(*runOpts)
+
+type runOpts struct {
+	ctx        context.Context
+	timeout    time.Duration
+	maxCycles  int64
+	maxInst    uint64
+	trace      io.Writer
+	traceDepth int
+}
+
+// WithContext runs the machine under ctx: cancellation aborts the
+// simulation within a few thousand simulated instructions, returning an
+// error matching context.Canceled (or ErrTimeout when the context's
+// deadline expired).
+func WithContext(ctx context.Context) RunOption {
+	return func(o *runOpts) {
+		if ctx != nil {
+			o.ctx = ctx
+		}
+	}
+}
+
+// WithTimeout bounds the run's wall-clock time. An expired run fails
+// with an error matching ErrTimeout.
+func WithTimeout(d time.Duration) RunOption {
+	return func(o *runOpts) { o.timeout = d }
+}
+
+// WithMaxCycles bounds the run's simulated cycle count; exceeding it
+// fails the run with ErrMaxCycles.
+func WithMaxCycles(n int64) RunOption {
+	return func(o *runOpts) { o.maxCycles = n }
+}
+
+// WithMaxInstructions bounds the run's retired-instruction count;
+// exceeding it fails the run with ErrMaxInstructions.
+func WithMaxInstructions(n uint64) RunOption {
+	return func(o *runOpts) { o.maxInst = n }
+}
+
+// WithTrace writes the run's instruction-mix summary and its last
+// retired instructions (WithTraceDepth, default 32) to w after the run
+// finishes — including after a failed run, where the tail trace is
+// usually the diagnostic that matters.
+func WithTrace(w io.Writer) RunOption {
+	return func(o *runOpts) { o.trace = w }
+}
+
+// WithTraceDepth sets how many trailing instructions WithTrace records.
+func WithTraceDepth(n int) RunOption {
+	return func(o *runOpts) {
+		if n > 0 {
+			o.traceDepth = n
+		}
+	}
+}
+
+// applyOptions folds opts into a resolved option set and the run's
+// context (with any WithTimeout deadline attached). Callers must defer
+// the returned cancel.
+func applyOptions(opts []RunOption) (runOpts, context.Context, context.CancelFunc) {
+	o := runOpts{ctx: context.Background(), traceDepth: 32}
+	for _, f := range opts {
+		f(&o)
+	}
+	ctx, cancel := o.ctx, context.CancelFunc(func() {})
+	if o.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+	}
+	return o, ctx, cancel
+}
+
+// runDiAGMachine executes p on a DiAG machine configured by o.
+func runDiAGMachine(ctx context.Context, o runOpts, cfg Config, p *Program) (Stats, *Memory, error) {
+	if o.maxCycles > 0 {
+		cfg.MaxCycles = o.maxCycles
+	}
+	if o.maxInst > 0 {
+		cfg.MaxInstructions = o.maxInst
+	}
+	mach, err := idiag.NewMachine(cfg, p)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	var rec *trace.Recorder
+	if o.trace != nil {
+		rec = trace.NewRecorder(o.traceDepth)
+		for i := 0; i < mach.Config().Rings; i++ {
+			mach.Ring(i).CPU().Hook = rec.Record
+		}
+	}
+	runErr := mach.RunContext(ctx)
+	if rec != nil {
+		io.WriteString(o.trace, rec.MixSummary())
+		io.WriteString(o.trace, rec.Format())
+	}
+	if runErr != nil {
+		return Stats{}, nil, runErr
+	}
+	return mach.Stats(), mach.Mem(), nil
+}
+
+// runBaselineMachine executes p on the out-of-order baseline configured
+// by o.
+func runBaselineMachine(ctx context.Context, o runOpts, cfg BaselineConfig, p *Program) (BaselineStats, *Memory, error) {
+	if o.maxCycles > 0 {
+		cfg.MaxCycles = o.maxCycles
+	}
+	if o.maxInst > 0 {
+		cfg.MaxInstructions = o.maxInst
+	}
+	mach, err := ooo.NewMachine(cfg, p)
+	if err != nil {
+		return BaselineStats{}, nil, err
+	}
+	var rec *trace.Recorder
+	if o.trace != nil {
+		rec = trace.NewRecorder(o.traceDepth)
+		for i := 0; i < mach.Config().Cores; i++ {
+			mach.Core(i).CPU().Hook = rec.Record
+		}
+	}
+	runErr := mach.RunContext(ctx)
+	if rec != nil {
+		io.WriteString(o.trace, rec.MixSummary())
+		io.WriteString(o.trace, rec.Format())
+	}
+	if runErr != nil {
+		return BaselineStats{}, nil, runErr
+	}
+	return mach.Stats(), mach.Mem(), nil
+}
+
+// ---- Parallel experiment engine ----
+
+// SweepJob is one independent simulation in a sweep, conventionally
+// named "workload/config".
+type SweepJob = exp.Job
+
+// SweepResult is one job's outcome; Sweep returns results in job order
+// regardless of completion order.
+type SweepResult = exp.Result
+
+// SweepProgress is delivered to SweepOptions.OnProgress after each job
+// finishes.
+type SweepProgress = exp.Progress
+
+// SweepOptions bound a sweep's parallelism and per-job wall-clock time.
+type SweepOptions = exp.Options
+
+// Sweep fans independent simulation jobs across a bounded worker pool
+// (SweepOptions.Workers, default GOMAXPROCS) with context cancellation,
+// per-job timeouts, and panic isolation: a wedged machine model fails
+// its own job, not the sweep. Per-job failures are reported in the
+// results; Sweep itself only errors when ctx is done.
+func Sweep(ctx context.Context, jobs []SweepJob, opt SweepOptions) ([]SweepResult, error) {
+	return exp.Run(ctx, jobs, opt)
+}
+
+// SimJob builds a sweep job that runs p on a DiAG machine with cfg; the
+// result value is Stats.
+func SimJob(name string, cfg Config, p *Program, opts ...RunOption) SweepJob {
+	return SweepJob{Name: name, Run: func(ctx context.Context) (any, error) {
+		st, _, err := Run(cfg, p, append(opts, WithContext(ctx))...)
+		return st, err
+	}}
+}
+
+// BaselineJob builds a sweep job that runs p on the out-of-order
+// baseline with cfg; the result value is BaselineStats.
+func BaselineJob(name string, cfg BaselineConfig, p *Program, opts ...RunOption) SweepJob {
+	return SweepJob{Name: name, Run: func(ctx context.Context) (any, error) {
+		st, _, err := RunBaseline(cfg, p, append(opts, WithContext(ctx))...)
+		return st, err
+	}}
+}
+
+// ---- Parallel figure regeneration ----
+
+// FigureOptions configure a FigureRunner: worker count, per-simulation
+// timeout, and a progress callback.
+type FigureOptions = bench.Options
+
+// FigureRunner regenerates paper figures by fanning each figure's
+// simulations across the experiment engine.
+type FigureRunner = bench.Runner
+
+// NewFigureRunner returns a runner whose Fig9a…Fig12, StallBreakdown,
+// and ScalingSweep methods regenerate figures with parallel,
+// cancellable simulations; results are byte-identical to the serial
+// package-level generators.
+func NewFigureRunner(ctx context.Context, opt FigureOptions) *FigureRunner {
+	return bench.NewRunner(ctx, opt)
+}

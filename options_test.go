@@ -1,0 +1,164 @@
+package diag_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"diag"
+)
+
+// spin never halts: every budget and cancellation path must be able to
+// stop it.
+const spin = `
+loop:
+	j loop
+`
+
+// trap hits an unsupported system call: the bad-program path.
+const trap = `
+	li a7, 93
+	ecall
+`
+
+func mustAssemble(t *testing.T, src string) *diag.Program {
+	t.Helper()
+	img, err := diag.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestWithMaxCycles(t *testing.T) {
+	img := mustAssemble(t, spin)
+	_, _, err := diag.Run(diag.F4C2(), img, diag.WithMaxCycles(1000))
+	if !errors.Is(err, diag.ErrMaxCycles) {
+		t.Errorf("Run: err = %v, want ErrMaxCycles", err)
+	}
+	_, _, err = diag.RunBaseline(diag.Baseline(), img, diag.WithMaxCycles(1000))
+	if !errors.Is(err, diag.ErrMaxCycles) {
+		t.Errorf("RunBaseline: err = %v, want ErrMaxCycles", err)
+	}
+}
+
+func TestWithMaxInstructions(t *testing.T) {
+	img := mustAssemble(t, spin)
+	_, _, err := diag.Run(diag.F4C2(), img, diag.WithMaxInstructions(5000))
+	if !errors.Is(err, diag.ErrMaxInstructions) {
+		t.Errorf("Run: err = %v, want ErrMaxInstructions", err)
+	}
+	if errors.Is(err, diag.ErrMaxCycles) {
+		t.Error("instruction-budget error must not match ErrMaxCycles")
+	}
+	_, _, err = diag.RunBaseline(diag.Baseline(), img, diag.WithMaxInstructions(5000))
+	if !errors.Is(err, diag.ErrMaxInstructions) {
+		t.Errorf("RunBaseline: err = %v, want ErrMaxInstructions", err)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	img := mustAssemble(t, spin)
+	start := time.Now()
+	_, _, err := diag.Run(diag.F4C2(), img, diag.WithTimeout(50*time.Millisecond))
+	if !errors.Is(err, diag.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The same error also matches the standard-library deadline
+	// sentinel, so callers using either idiom work.
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("timeout error should also match context.DeadlineExceeded: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timed-out run returned after %v", elapsed)
+	}
+}
+
+func TestWithContextCancellation(t *testing.T) {
+	img := mustAssemble(t, spin)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run must abort almost immediately
+	_, _, err := diag.Run(diag.F4C2(), img, diag.WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Run: err = %v, want context.Canceled", err)
+	}
+	_, _, err = diag.RunBaseline(diag.Baseline(), img, diag.WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("RunBaseline: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBadProgramTaxonomy(t *testing.T) {
+	img := mustAssemble(t, trap)
+	if _, _, err := diag.Run(diag.F4C2(), img); !errors.Is(err, diag.ErrBadProgram) {
+		t.Errorf("Run: err = %v, want ErrBadProgram", err)
+	}
+	if _, _, err := diag.RunBaseline(diag.Baseline(), img); !errors.Is(err, diag.ErrBadProgram) {
+		t.Errorf("RunBaseline: err = %v, want ErrBadProgram", err)
+	}
+	if _, err := diag.Interpret(img, 1000); !errors.Is(err, diag.ErrBadProgram) {
+		t.Errorf("Interpret: err = %v, want ErrBadProgram", err)
+	}
+}
+
+func TestInterpretInstructionBudget(t *testing.T) {
+	img := mustAssemble(t, spin)
+	cpu, err := diag.Interpret(img, 10)
+	if !errors.Is(err, diag.ErrMaxInstructions) {
+		t.Fatalf("err = %v, want ErrMaxInstructions", err)
+	}
+	// The partial state is still returned alongside the error.
+	if cpu == nil || cpu.Instret != 10 {
+		t.Errorf("partial state: cpu = %+v", cpu)
+	}
+	if cpu.Halted {
+		t.Error("a budget-truncated run must not report Halted")
+	}
+}
+
+func TestWithTrace(t *testing.T) {
+	img := mustAssemble(t, tinyLoop)
+	var buf bytes.Buffer
+	_, _, err := diag.Run(diag.F4C2(), img, diag.WithTrace(&buf), diag.WithTraceDepth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "blt") || !strings.Contains(out, "mix") {
+		t.Errorf("trace output missing instruction tail or mix summary:\n%s", out)
+	}
+}
+
+func TestSweepOrderingAndTaxonomy(t *testing.T) {
+	good := mustAssemble(t, tinyLoop)
+	bad := mustAssemble(t, trap)
+	jobs := []diag.SweepJob{
+		diag.SimJob("good/F4C2", diag.F4C2(), good),
+		diag.SimJob("bad/F4C2", diag.F4C2(), bad),
+		diag.BaselineJob("good/OoO", diag.Baseline(), good),
+	}
+	results, err := diag.Sweep(context.Background(), jobs, diag.SweepOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i || r.Name != jobs[i].Name {
+			t.Errorf("result %d out of order: %+v", i, r)
+		}
+	}
+	if st, ok := results[0].Value.(diag.Stats); !ok || st.Cycles <= 0 {
+		t.Errorf("result 0: value = %#v, err = %v", results[0].Value, results[0].Err)
+	}
+	if !errors.Is(results[1].Err, diag.ErrBadProgram) {
+		t.Errorf("result 1: err = %v, want ErrBadProgram", results[1].Err)
+	}
+	if st, ok := results[2].Value.(diag.BaselineStats); !ok || st.Cycles <= 0 {
+		t.Errorf("result 2: value = %#v, err = %v", results[2].Value, results[2].Err)
+	}
+}
