@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check vet bench figures tables examples cover clean
+.PHONY: all build test race check vet bench figures tables examples cover clean fuzz-smoke
 
 all: build vet test
 
@@ -25,6 +25,14 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# Short fuzz runs for CI: each native fuzz target gets a brief budget
+# (go test runs one -fuzz target per invocation).
+FUZZTIME ?= 15s
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/isa/
+	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) ./internal/asm/
+	$(GO) test -run=NONE -fuzz=FuzzMemoryOps -fuzztime=$(FUZZTIME) ./internal/mem/
+
 # Full benchmark run: every paper figure/table plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,7 +45,7 @@ tables:
 	$(GO) run ./cmd/diag-report -table1 -table2 -table3
 
 examples:
-	@for e in quickstart euclid simt compare baremetal interrupt; do \
+	@for e in quickstart euclid simt compare baremetal interrupt faultdemo; do \
 		echo "=== examples/$$e ==="; \
 		$(GO) run ./examples/$$e; echo; \
 	done

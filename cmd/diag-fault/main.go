@@ -1,0 +1,156 @@
+// diag-fault runs deterministic fault-injection campaigns: it executes
+// a program many times on a DiAG machine (or the out-of-order
+// baseline), injects one seed-derived fault per run at a named site
+// class, classifies each run against the golden ISS (masked / SDC /
+// detected / crash / hang), and prints an AVF-style vulnerability
+// table. With -degrade it instead sweeps degraded-mode operation,
+// fusing off clusters and reporting the slowdown curve.
+//
+// A fixed seed replays the identical campaign, byte for byte, at any
+// -parallel value:
+//
+//	diag-fault -workload pathfinder -n 1000 -seed 42 -parallel 8
+//	diag-fault -machine ooo -sites lane,pc,rob,iq -n 500 prog.s
+//	diag-fault -machine F4C16 -degrade 8 -workload hotspot
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"diag/internal/asm"
+	"diag/internal/diag"
+	"diag/internal/fault"
+	"diag/internal/mem"
+	"diag/internal/ooo"
+	"diag/internal/workloads"
+)
+
+func main() {
+	machine := flag.String("machine", "F4C2", "I4C2, F4C2, F4C16, F4C32, or ooo")
+	sites := flag.String("sites", "", "comma-separated site classes (lane,flane,pc,ibuf,enable,mem,rob,iq; default: all the machine has)")
+	n := flag.Int("n", 100, "number of faulted trials")
+	seed := flag.Int64("seed", 1, "campaign seed; equal seeds replay identical campaigns")
+	parallel := flag.Int("parallel", 0, "concurrent trial runners (0 = GOMAXPROCS; the report is identical at any value)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per trial, classified as hang (0 = none)")
+	workload := flag.String("workload", "", "run a named benchmark instead of a file")
+	scale := flag.Int("scale", 1, "workload problem-size knob")
+	degrade := flag.Int("degrade", -1, "sweep 0..K disabled clusters instead of injecting faults (DiAG only)")
+	verbose := flag.Bool("v", false, "print every trial")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	img, label, err := buildProgram(*workload, workloads.Params{Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *degrade >= 0 {
+		if strings.EqualFold(*machine, "ooo") {
+			fatal(fmt.Errorf("-degrade needs a DiAG machine (clusters to fuse off)"))
+		}
+		cfg, err := diagConfig(*machine)
+		if err != nil {
+			fatal(err)
+		}
+		points, err := fault.Degradation(ctx, cfg, img, *degrade, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(fault.DegradationTable(cfg.Name, points))
+		return
+	}
+
+	c := &fault.Campaign{
+		Image:   img,
+		Trials:  *n,
+		Seed:    *seed,
+		Workers: *parallel,
+		Timeout: *timeout,
+	}
+	if strings.EqualFold(*machine, "ooo") {
+		cfg := ooo.Baseline()
+		c.OoO = &cfg
+	} else {
+		cfg, err := diagConfig(*machine)
+		if err != nil {
+			fatal(err)
+		}
+		c.DiAG = &cfg
+	}
+	if *sites != "" {
+		c.Sites, err = fault.ParseClasses(*sites)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	rep, err := c.Run(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Workload = label
+	fmt.Print(rep.Table())
+	if *verbose {
+		fmt.Println()
+		for i, t := range rep.Trials {
+			note := ""
+			if !t.Injected {
+				note = "  (never fired)"
+			}
+			fmt.Printf("%4d  %-40s -> %s%s\n", i, t.Fault, t.Outcome, note)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "diag-fault: %d trials in %v\n", len(rep.Trials), time.Since(start).Round(time.Millisecond))
+}
+
+func buildProgram(name string, p workloads.Params) (*mem.Image, string, error) {
+	if name != "" {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			names := make([]string, 0, 20)
+			for _, w := range workloads.All() {
+				names = append(names, w.Name)
+			}
+			return nil, "", fmt.Errorf("unknown workload %q (have: %s)", name, strings.Join(names, ", "))
+		}
+		img, err := w.Build(p)
+		return img, name, err
+	}
+	if flag.NArg() != 1 {
+		return nil, "", fmt.Errorf("usage: diag-fault [flags] prog.s  (or -workload NAME)")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return nil, "", err
+	}
+	img, err := asm.Assemble(string(src))
+	return img, flag.Arg(0), err
+}
+
+func diagConfig(name string) (diag.Config, error) {
+	switch strings.ToUpper(name) {
+	case "I4C2":
+		return diag.I4C2(), nil
+	case "F4C2":
+		return diag.F4C2(), nil
+	case "F4C16":
+		return diag.F4C16(), nil
+	case "F4C32":
+		return diag.F4C32(), nil
+	}
+	return diag.Config{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diag-fault:", err)
+	os.Exit(1)
+}

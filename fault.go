@@ -1,0 +1,132 @@
+package diag
+
+import (
+	"context"
+	"time"
+
+	"diag/internal/fault"
+)
+
+// ---- Fault injection & resilience ----
+//
+// FaultCampaign quantifies the architecture's fault behaviour: it runs
+// a program many times, each run perturbed by one deterministic,
+// seed-derived fault (a bit-flip or stuck-at at a named hardware
+// site), and classifies every run against the golden ISS into the
+// standard taxonomy — masked, SDC, detected, crash, hang. Campaigns
+// replay exactly from their seed regardless of worker count.
+//
+//	rep, err := diag.FaultCampaign(ctx, diag.F4C16(), img,
+//	    diag.WithFaultTrials(1000), diag.WithFaultSeed(42))
+//	fmt.Println(rep.Table())
+
+// FaultSite is a category of fault-injection site (register lanes,
+// instruction buffers, PE enables, memory words, ROB/IQ entries).
+type FaultSite = fault.Class
+
+// Fault-site classes. DiAG machines support Lane, FLane, PC, IBuf,
+// Enable, and Mem; the OoO baseline supports Lane, FLane, PC, Mem,
+// ROB, and IQ.
+const (
+	FaultSiteLane   = fault.SiteLane
+	FaultSiteFLane  = fault.SiteFLane
+	FaultSitePC     = fault.SitePC
+	FaultSiteIBuf   = fault.SiteIBuf
+	FaultSiteEnable = fault.SiteEnable
+	FaultSiteMem    = fault.SiteMem
+	FaultSiteROB    = fault.SiteROB
+	FaultSiteIQ     = fault.SiteIQ
+)
+
+// FaultOutcome classifies one faulted run against the golden model.
+type FaultOutcome = fault.Outcome
+
+// The fault-injection outcome taxonomy.
+const (
+	FaultMasked   = fault.Masked
+	FaultSDC      = fault.SDC
+	FaultDetected = fault.Detected
+	FaultCrash    = fault.Crash
+	FaultHang     = fault.Hang
+)
+
+// FaultTrial is one classified faulted run of a campaign.
+type FaultTrial = fault.Trial
+
+// FaultReport aggregates a campaign; Table renders the AVF-style
+// vulnerability table per site class.
+type FaultReport = fault.Report
+
+// ParseFaultSites parses a comma-separated site list ("lane,mem,ibuf";
+// aliases reg/freg/cache/all accepted).
+func ParseFaultSites(s string) ([]FaultSite, error) { return fault.ParseClasses(s) }
+
+// FaultOption customizes a fault campaign.
+type FaultOption func(*fault.Campaign)
+
+// WithFaultTrials sets the number of faulted runs (default 100).
+func WithFaultTrials(n int) FaultOption {
+	return func(c *fault.Campaign) { c.Trials = n }
+}
+
+// WithFaultSeed sets the campaign seed; every fault derives from it,
+// so equal seeds replay the identical campaign.
+func WithFaultSeed(seed int64) FaultOption {
+	return func(c *fault.Campaign) { c.Seed = seed }
+}
+
+// WithFaultSites restricts injection to the given site classes
+// (default: every class the machine physically has).
+func WithFaultSites(sites ...FaultSite) FaultOption {
+	return func(c *fault.Campaign) { c.Sites = sites }
+}
+
+// WithFaultWorkers bounds the parallel trial runners (default
+// GOMAXPROCS). The report is identical for any worker count.
+func WithFaultWorkers(n int) FaultOption {
+	return func(c *fault.Campaign) { c.Workers = n }
+}
+
+// WithFaultTimeout bounds each trial's wall-clock time; an expired
+// trial classifies as a hang.
+func WithFaultTimeout(d time.Duration) FaultOption {
+	return func(c *fault.Campaign) { c.Timeout = d }
+}
+
+// FaultCampaign runs a Monte Carlo fault-injection campaign of p on a
+// DiAG machine. cfg must be single-ring (fault campaigns perturb one
+// hart). The error covers campaign-level failures only — per-trial
+// failures are the measurement and land in the report.
+func FaultCampaign(ctx context.Context, cfg Config, p *Program, opts ...FaultOption) (*FaultReport, error) {
+	c := &fault.Campaign{Image: p, DiAG: &cfg}
+	for _, o := range opts {
+		o(c)
+	}
+	return c.Run(ctx)
+}
+
+// FaultCampaignBaseline is FaultCampaign on the out-of-order baseline
+// (cfg must be single-core).
+func FaultCampaignBaseline(ctx context.Context, cfg BaselineConfig, p *Program, opts ...FaultOption) (*FaultReport, error) {
+	c := &fault.Campaign{Image: p, OoO: &cfg}
+	for _, o := range opts {
+		o(c)
+	}
+	return c.Run(ctx)
+}
+
+// DegradePoint is one entry of a degraded-mode slowdown curve.
+type DegradePoint = fault.DegradePoint
+
+// DegradationSweep runs p on DiAG machines with 0, 1, …, maxDisabled
+// clusters fused off (clamped so at least 2 survive), verifies each
+// run's output against the golden ISS, and returns the slowdown curve
+// — the quantitative form of the paper's redundancy argument (§5.1.4).
+func DegradationSweep(ctx context.Context, cfg Config, p *Program, maxDisabled, workers int) ([]DegradePoint, error) {
+	return fault.Degradation(ctx, cfg, p, maxDisabled, workers)
+}
+
+// DegradationTable renders a degradation curve as a fixed-width table.
+func DegradationTable(name string, points []DegradePoint) string {
+	return fault.DegradationTable(name, points)
+}

@@ -1,0 +1,32 @@
+package asm
+
+import (
+	"testing"
+
+	"diag/internal/isa"
+)
+
+// FuzzAssemble feeds arbitrary source to the assembler. It must reject
+// malformed input with an error, never a panic; and when it accepts,
+// every emitted text word must decode (the assembler cannot emit an
+// instruction the machines cannot fetch) and the image must disassemble.
+func FuzzAssemble(f *testing.F) {
+	f.Add("li t0, 42\nebreak\n")
+	f.Add("loop:\n\taddi t0, t0, 1\n\tblt t0, t1, loop\n")
+	f.Add(".data\nv:\t.word 1, 2, 3\n.text\n_start:\n\tla s0, v\n\tlw a0, 0(s0)\n")
+	f.Add(".float 1.5\n")
+	f.Add("simt.s t0, t1, t2, 1\nsimt.e t0, t2, -8\n")
+	f.Add("lw a0, 0(")
+	f.Fuzz(func(t *testing.T, src string) {
+		img, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		for i, w := range img.Text {
+			if _, derr := isa.Decode(w); derr != nil {
+				t.Fatalf("accepted source emitted undecodable word %#x at text[%d]: %v\nsource:\n%s", w, i, derr, src)
+			}
+		}
+		_ = Disassemble(img)
+	})
+}

@@ -1,0 +1,114 @@
+package cache
+
+import "testing"
+
+// recorder is a lower-level Port that logs every access it services, so
+// tests can observe which traffic (fills, writebacks) actually reaches
+// the next level.
+type recorder struct {
+	reads  []uint32
+	writes []uint32
+}
+
+func (r *recorder) Access(now int64, addr uint32, write bool) int64 {
+	if write {
+		r.writes = append(r.writes, addr)
+	} else {
+		r.reads = append(r.reads, addr)
+	}
+	return now + 1
+}
+
+// overfill a single set: a direct-mapped cache with 4 sets of 64-byte
+// lines; addresses 256 bytes apart all collide in set 0.
+func evictCache(lower Port) *Cache {
+	return New(Config{Name: "t", Size: 256, LineSize: 64, Assoc: 1, Latency: 1}, lower)
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	rec := &recorder{}
+	c := evictCache(rec)
+	c.Access(0, 0x000, false) // fill set 0, clean
+	c.Access(1, 0x100, false) // conflicting line evicts it
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats.Evictions)
+	}
+	if c.Stats.Writebacks != 0 {
+		t.Fatalf("clean eviction must not write back; writebacks = %d", c.Stats.Writebacks)
+	}
+	if len(rec.writes) != 0 {
+		t.Fatalf("clean eviction sent writes below: %#x", rec.writes)
+	}
+	if c.Contains(0x000) {
+		t.Fatal("evicted line still reported resident")
+	}
+	if !c.Contains(0x100) {
+		t.Fatal("installed line not resident")
+	}
+}
+
+func TestDirtyEvictionWritesBackVictimAddress(t *testing.T) {
+	rec := &recorder{}
+	c := evictCache(rec)
+	c.Access(0, 0x044, true)  // dirty line in set 1 (line base 0x040)
+	c.Access(1, 0x140, false) // conflict evicts it
+	if c.Stats.Evictions != 1 || c.Stats.Writebacks != 1 {
+		t.Fatalf("evictions = %d writebacks = %d, want 1/1", c.Stats.Evictions, c.Stats.Writebacks)
+	}
+	if len(rec.writes) != 1 || rec.writes[0] != 0x040 {
+		t.Fatalf("writeback addresses = %#x, want [0x40] (victim line base)", rec.writes)
+	}
+}
+
+func TestEvictionCascadesThroughHierarchy(t *testing.T) {
+	dram := &recorder{}
+	l2 := New(Config{Name: "l2", Size: 512, LineSize: 64, Assoc: 2, Latency: 4}, dram)
+	l1 := evictCache(l2)
+	// Dirty a line in L1, evict it; the writeback lands in L2 as a
+	// write access (dirtying L2), not in DRAM.
+	l1.Access(0, 0x000, true)
+	l1.Access(1, 0x100, false)
+	if l1.Stats.Writebacks != 1 {
+		t.Fatalf("l1 writebacks = %d, want 1", l1.Stats.Writebacks)
+	}
+	if len(dram.writes) != 0 {
+		t.Fatalf("l1 writeback skipped l2, hit DRAM: %#x", dram.writes)
+	}
+	if l2.Stats.Accesses == 0 {
+		t.Fatal("l2 never saw the writeback")
+	}
+}
+
+func TestAssociativeSetOverfill(t *testing.T) {
+	rec := &recorder{}
+	// 2-way, 2 sets: three lines mapping to one set force exactly one
+	// eviction and keep the two most recent.
+	c := New(Config{Name: "t", Size: 256, LineSize: 64, Assoc: 2, Latency: 1}, rec)
+	c.Access(0, 0x000, false)
+	c.Access(1, 0x080, false)
+	c.Access(2, 0x100, false) // evicts 0x000 (LRU)
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats.Evictions)
+	}
+	if c.Contains(0x000) || !c.Contains(0x080) || !c.Contains(0x100) {
+		t.Fatal("LRU kept the wrong lines")
+	}
+}
+
+func TestFlushDropsDirtyLinesWithoutWriteback(t *testing.T) {
+	rec := &recorder{}
+	c := evictCache(rec)
+	c.Access(0, 0x000, true)
+	c.Flush()
+	if c.Contains(0x000) {
+		t.Fatal("flushed line still resident")
+	}
+	if len(rec.writes) != 0 {
+		t.Fatalf("Flush is invalidate-only; it issued writes: %#x", rec.writes)
+	}
+	// Refill misses again and the stats keep accumulating across Flush.
+	c.Access(1, 0x000, false)
+	if c.Stats.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (flush forgets residency, keeps stats)", c.Stats.Misses)
+	}
+}

@@ -84,6 +84,13 @@ type Config struct {
 	// Exceeding it fails the run with diagerr.ErrMaxCycles.
 	MaxCycles int64
 
+	// DisabledClusterMask marks clusters (bit i = cluster i) that are
+	// fused off for degraded-mode operation: the control unit never
+	// loads lines into them, and cluster reuse remaps around them. At
+	// least two clusters must stay enabled (§4.3 alternation). A mask,
+	// not a slice, so Config stays comparable.
+	DisabledClusterMask uint64
+
 	// Optional extensions (paper future work; see internal/diag/extensions.go).
 	StridePrefetch       bool // §5.2: PE-local stride prefetch into memory lanes
 	SharedFPUs           int  // §7.5: FPUs shared per cluster (0 = one per PE)
@@ -156,7 +163,27 @@ func (c Config) Validate() error {
 	if c.Rings < 1 {
 		return fmt.Errorf("diag: rings %d invalid", c.Rings)
 	}
+	if n := c.EnabledClusters(); n < 2 {
+		return fmt.Errorf("diag: disabled-cluster mask %#x leaves %d of %d clusters; need at least 2 to alternate (§4.3)",
+			c.DisabledClusterMask, n, c.Clusters)
+	}
 	return nil
+}
+
+// EnabledClusters counts clusters per ring not fused off by
+// DisabledClusterMask. Mask bits at or above Clusters are ignored.
+func (c Config) EnabledClusters() int {
+	c.setDefaults()
+	n := 0
+	for i := 0; i < c.Clusters && i < 64; i++ {
+		if c.DisabledClusterMask&(1<<uint(i)) == 0 {
+			n++
+		}
+	}
+	if c.Clusters > 64 {
+		n += c.Clusters - 64 // mask can only name the first 64
+	}
+	return n
 }
 
 // Paper Table 2 configurations.

@@ -40,6 +40,17 @@ type Ring struct {
 	cfg Config
 	cpu *iss.CPU
 
+	// PreStep, when non-nil, is called once per retired instruction just
+	// before the architectural step, with the current frontier cycle.
+	// The fault-injection layer (internal/fault) hooks it to flip
+	// architectural state at scheduled cycles without this package
+	// knowing anything about faults.
+	PreStep func(now int64)
+
+	watchdog iss.Watchdog
+	disabled []bool // clusters fused off for degraded-mode operation
+	enabled  int    // len(clusters) minus disabled ones
+
 	icache   *cache.Cache
 	memlanes *cache.Cache // cluster-level memory lanes (§5.2)
 	l1d      *cache.Cache
@@ -69,6 +80,14 @@ func newRing(cfg Config, m *mem.Memory, entry uint32, shared cache.Port) *Ring {
 		cpu:      iss.New(m, entry),
 		clusters: make([]clusterState, cfg.Clusters),
 		peFree:   make([]int64, cfg.Clusters*cfg.PEsPerCluster),
+		disabled: make([]bool, cfg.Clusters),
+		enabled:  cfg.Clusters,
+	}
+	for i := 0; i < cfg.Clusters && i < 64; i++ {
+		if cfg.DisabledClusterMask&(1<<uint(i)) != 0 {
+			r.disabled[i] = true
+			r.enabled--
+		}
 	}
 	r.strides = make([]strideState, cfg.Clusters*cfg.PEsPerCluster)
 	if cfg.SharedFPUs > 0 {
@@ -89,6 +108,28 @@ func newRing(cfg Config, m *mem.Memory, entry uint32, shared cache.Port) *Ring {
 
 // CPU exposes the architectural state (for examples and tests).
 func (r *Ring) CPU() *iss.CPU { return r.cpu }
+
+// EnabledClusters reports how many clusters are currently usable.
+func (r *Ring) EnabledClusters() int { return r.enabled }
+
+// DisableCluster fuses off cluster i at runtime — the degraded-mode
+// path a detected PE fault would trigger in hardware. Its loaded line
+// (if any) is dropped, so the next touch remaps through the ordinary
+// cluster-reuse path onto a surviving cluster. Returns false, changing
+// nothing, if i is out of range, already disabled, or disabling it
+// would leave fewer than the 2 clusters alternation needs (§4.3).
+func (r *Ring) DisableCluster(i int) bool {
+	if i < 0 || i >= len(r.clusters) || r.disabled[i] || r.enabled <= 2 {
+		return false
+	}
+	r.disabled[i] = true
+	r.enabled--
+	r.clusters[i] = clusterState{}
+	for j := 0; j < r.cfg.PEsPerCluster; j++ {
+		r.peFree[i*r.cfg.PEsPerCluster+j] = 0
+	}
+	return true
+}
 
 // Stats returns the accumulated statistics including cache snapshots.
 func (r *Ring) Stats() Stats {
@@ -162,7 +203,7 @@ func (r *Ring) loadLine(base uint32, earliest int64, avoid int) (int, int64, int
 	// Victim selection: LRU among loaded clusters, preferring empty ones.
 	victim := -1
 	for i := range r.clusters {
-		if i == avoid {
+		if i == avoid || r.disabled[i] {
 			continue
 		}
 		if !r.clusters[i].loaded {
@@ -235,10 +276,18 @@ func (r *Ring) RunContext(ctx context.Context) error {
 				return diagerr.FromContext(ctx.Err())
 			default:
 			}
+			if steps > 0 && r.watchdog.Stalled(r.cpu, r.stats.Stores) {
+				return diagerr.Wrap(diagerr.ErrStalled,
+					"diag: no architectural progress after %d retired instructions (PC 0x%x)",
+					r.stats.Retired, r.cpu.PC)
+			}
 		}
 		if cfg.MaxCycles > 0 && r.now > cfg.MaxCycles {
 			return diagerr.Wrap(diagerr.ErrMaxCycles,
 				"diag: cycle budget %d exceeded after %d retired instructions", cfg.MaxCycles, r.stats.Retired)
+		}
+		if r.PreStep != nil {
+			r.PreStep(r.now)
 		}
 		pc := r.cpu.PC
 		ci := r.findCluster(pc)

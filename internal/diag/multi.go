@@ -48,7 +48,7 @@ func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
 		var shared cache.Port = mach.dram
 		ringCfg := cfg
 		if cfg.Rings > 1 && cfg.L2Size > 0 {
-			ringCfg.L2Size = cache.RoundSize(maxInt(cfg.L2Size/cfg.Rings, 64<<10), 64, 8)
+			ringCfg.L2Size = cache.RoundSize(max(cfg.L2Size/cfg.Rings, 64<<10), 64, 8)
 		}
 		if l2 := ringCfg.buildL2(mach.dram); l2 != nil {
 			mach.l2s = append(mach.l2s, l2)
@@ -60,13 +60,6 @@ func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
 		mach.rings = append(mach.rings, r)
 	}
 	return mach, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Config returns the machine's configuration.

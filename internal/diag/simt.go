@@ -27,7 +27,7 @@ type instRec struct {
 // (§4.4.3): the region has a backward branch, an indirect jump, a system
 // instruction, a nested simt.s, or does not fit the ring's PEs.
 func (r *Ring) scanRegion(sPC uint32, interval int64) *simtRegion {
-	capacity := r.cfg.Clusters * r.cfg.PEsPerCluster
+	capacity := r.enabled * r.cfg.PEsPerCluster
 	maxBytes := uint32(capacity * 4)
 	var ePC uint32
 	for pc := sPC + 4; pc-sPC < maxBytes; pc += 4 {
@@ -63,24 +63,17 @@ func (r *Ring) scanRegion(sPC uint32, interval int64) *simtRegion {
 			return nil
 		}
 	}
-	reg := &simtRegion{sPC: sPC, ePC: ePC, interval: max64(1, interval)}
+	reg := &simtRegion{sPC: sPC, ePC: ePC, interval: max(1, interval)}
 	for base := r.lineBase(sPC); base <= r.lineBase(ePC); base += r.cfg.ClusterBytes() {
 		reg.lines = append(reg.lines, base)
 	}
-	if len(reg.lines) > r.cfg.Clusters {
+	if len(reg.lines) > r.enabled {
 		return nil
 	}
 	return reg
 }
 
 func ePCBound(sPC, maxBytes uint32) uint32 { return sPC + maxBytes }
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
 
 // stageOf maps an instruction address to its pipeline stage index.
 func (reg *simtRegion) stageOf(r *Ring, pc uint32) int {
@@ -128,7 +121,7 @@ func (r *Ring) runSIMT(ex iss.Exec) bool {
 	// spare clusters and threads are dealt round-robin. Replica copies of
 	// the region's lines ride the bus once at startup.
 	nStages := len(reg.lines)
-	replicas := r.cfg.Clusters / nStages
+	replicas := r.enabled / nStages
 	if replicas < 1 {
 		replicas = 1
 	}
@@ -260,8 +253,8 @@ func (r *Ring) runSIMT(ex iss.Exec) bool {
 	// All pipeline stages (and replicas) are live for the region's whole
 	// duration.
 	live := nStages * replicas
-	if live > r.cfg.Clusters {
-		live = r.cfg.Clusters
+	if live > r.enabled {
+		live = r.enabled
 	}
 	if finish > r.now {
 		r.stats.ClusterCycles += (finish - r.now) * int64(live)

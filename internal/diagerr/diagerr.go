@@ -8,7 +8,11 @@
 //	ErrMaxInstructions — a run exceeded its retired-instruction budget;
 //	ErrBadProgram      — the program itself is broken (undecodable
 //	                     instruction, misaligned access, unsupported
-//	                     system call, malformed SIMT region).
+//	                     system call, malformed SIMT region);
+//	ErrStalled         — the machine's retirement watchdog detected a
+//	                     livelock: the full architectural state recurred
+//	                     with no intervening store, so the program can
+//	                     never halt.
 //
 // The concrete errors the simulators return carry human-readable
 // messages ("iss: misaligned lw at 0x104 (PC 0x40)") and match the
@@ -29,6 +33,7 @@ var (
 	ErrMaxCycles       = errors.New("cycle budget exceeded")
 	ErrMaxInstructions = errors.New("instruction budget exceeded")
 	ErrBadProgram      = errors.New("bad program")
+	ErrStalled         = errors.New("no architectural progress")
 )
 
 // taggedError is a formatted message that matches one or more taxonomy

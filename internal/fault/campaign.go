@@ -1,0 +1,460 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"diag/internal/diag"
+	"diag/internal/diagerr"
+	"diag/internal/exp"
+	"diag/internal/isa"
+	"diag/internal/iss"
+	"diag/internal/mem"
+	"diag/internal/ooo"
+	"diag/internal/stats"
+)
+
+// Outcome classifies one faulted run against the golden model.
+type Outcome int
+
+// The standard fault-injection taxonomy.
+const (
+	// Masked: the run completed and the final memory image matches the
+	// golden model — the fault hit dead state or was overwritten.
+	// (Registers the program never reads again may still differ; like
+	// ACE analysis, only the program's output counts.)
+	Masked Outcome = iota
+	// SDC: silent data corruption — the run completed normally but the
+	// final memory differs from the golden model.
+	SDC
+	// Detected: the hardware trapped precisely — the run failed with a
+	// program-level fault (undecodable instruction, misaligned access)
+	// while the PC was still inside the text image.
+	Detected
+	// Crash: execution escaped — the PC left the text image (wild
+	// jump, bus error) or the simulator itself panicked.
+	Crash
+	// Hang: the run never completed — the retirement watchdog proved a
+	// livelock (ErrStalled) or a cycle/instruction/wall-clock budget
+	// expired.
+	Hang
+
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{"masked", "SDC", "detected", "crash", "hang"}
+
+func (o Outcome) String() string {
+	if o < 0 || o >= numOutcomes {
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+	return outcomeNames[o]
+}
+
+// Campaign is one Monte Carlo fault-injection experiment: Trials
+// single-fault runs of Image on exactly one machine model, each
+// perturbed by a fault derived deterministically from Seed, classified
+// against the golden ISS by final architectural state and memory
+// digest. The experiment fans out over internal/exp, whose ordered
+// results (and the per-trial RNGs) make the report independent of
+// Workers.
+type Campaign struct {
+	Image *mem.Image
+
+	// Exactly one of DiAG / OoO selects the machine under test. The
+	// configuration must be single-threaded (Rings/Cores == 1): a
+	// fault campaign perturbs one hart.
+	DiAG *diag.Config
+	OoO  *ooo.Config
+
+	Sites  []Class // nil = DefaultSites for the machine
+	Trials int     // number of faulted runs (default 100)
+	Seed   int64   // base of every per-trial RNG
+
+	Workers int           // parallel trial runners (<=0: GOMAXPROCS)
+	Timeout time.Duration // optional per-trial wall-clock bound (counts as hang)
+
+	// DataAddr/DataLen bound SiteMem faults; zero means derive from
+	// the image's data segments (falling back to a page past text).
+	DataAddr, DataLen uint32
+}
+
+// DefaultSites returns the site classes that physically exist on the
+// machine: diag true selects the DiAG ring sites, false the OoO sites.
+func DefaultSites(diagMachine bool) []Class {
+	if diagMachine {
+		return []Class{SiteLane, SiteFLane, SitePC, SiteIBuf, SiteEnable, SiteMem}
+	}
+	return []Class{SiteLane, SiteFLane, SitePC, SiteMem, SiteROB, SiteIQ}
+}
+
+// Trial is one classified faulted run.
+type Trial struct {
+	Fault    Fault
+	Outcome  Outcome
+	Injected bool  // false: the scheduled cycle was never reached
+	Cycles   int64 // simulated cycles (0 when the run failed)
+	Err      string
+}
+
+// Report aggregates a campaign.
+type Report struct {
+	Machine        string
+	Workload       string // optional label for the table title
+	Seed           int64
+	GoldenInstret  uint64
+	BaselineCycles int64
+	Trials         []Trial
+}
+
+// goldenRef is what classification compares against.
+type goldenRef struct {
+	digest            uint64
+	textAddr, textEnd uint32
+}
+
+// runResult is one faulted run's observable outcome.
+type runResult struct {
+	digest   uint64
+	pc       uint32
+	cycles   int64
+	injected bool
+	err      error
+}
+
+// seedStride separates per-trial RNG streams (32-bit golden ratio).
+const seedStride = 0x9E3779B9
+
+// Run executes the campaign. The error return covers campaign-level
+// failures only (bad configuration, a golden run that does not halt
+// cleanly, cancellation); per-trial failures are what the campaign
+// measures and land in the report.
+func (c *Campaign) Run(ctx context.Context) (*Report, error) {
+	if c.Image == nil {
+		return nil, fmt.Errorf("fault: campaign needs an image")
+	}
+	if (c.DiAG == nil) == (c.OoO == nil) {
+		return nil, fmt.Errorf("fault: campaign needs exactly one of DiAG/OoO")
+	}
+	if c.DiAG != nil && c.DiAG.Rings > 1 || c.OoO != nil && c.OoO.Cores > 1 {
+		return nil, fmt.Errorf("fault: campaign machines must be single-threaded (Rings/Cores == 1)")
+	}
+	trials := c.Trials
+	if trials <= 0 {
+		trials = 100
+	}
+	sites := c.Sites
+	if len(sites) == 0 {
+		sites = DefaultSites(c.DiAG != nil)
+	}
+	dataAddr, dataLen := c.dataRegion()
+
+	// Golden reference: the ISS run the machine must reproduce.
+	cap := uint64(500_000_000)
+	if c.DiAG != nil && c.DiAG.MaxInstructions > 0 {
+		cap = c.DiAG.MaxInstructions
+	}
+	if c.OoO != nil && c.OoO.MaxInstructions > 0 {
+		cap = c.OoO.MaxInstructions
+	}
+	golden, goldenInstret, err := goldenRun(c.Image, cap)
+	if err != nil {
+		return nil, fmt.Errorf("fault: golden run: %w", err)
+	}
+
+	// Unfaulted timing run: differential sanity check plus the cycle
+	// window faults are scheduled in and the degraded-mode baseline.
+	base := c.runner(nil, dataAddr, dataLen, 0, 0)
+	baseRes := base(ctx)
+	if baseRes.err != nil {
+		return nil, fmt.Errorf("fault: unfaulted run failed: %w", baseRes.err)
+	}
+	if baseRes.digest != golden.digest {
+		return nil, fmt.Errorf("fault: unfaulted run diverges from the golden model — fix the machine before injecting faults")
+	}
+
+	// Faulted runs get headroom over the fault-free budgets so only a
+	// genuine runaway (e.g. a corrupted loop bound) counts as a hang.
+	// The margins are fixed functions of the deterministic fault-free
+	// run, keeping every trial's budget reproducible.
+	maxInst := goldenInstret*4 + 10_000
+	maxCycles := baseRes.cycles*8 + 100_000
+
+	faults := make([][]Fault, trials)
+	for i := range faults {
+		rng := rand.New(rand.NewSource(c.Seed + int64(i)*seedStride))
+		faults[i] = []Fault{Random(rng, sites, baseRes.cycles)}
+	}
+
+	jobs := make([]exp.Job, trials)
+	for i := range jobs {
+		run := c.runner(faults[i], dataAddr, dataLen, maxInst, maxCycles)
+		jobs[i] = exp.Job{
+			Name: fmt.Sprintf("trial-%d", i),
+			Run: func(ctx context.Context) (any, error) {
+				res := run(ctx)
+				out, msg := classify(res, golden)
+				return Trial{
+					Fault:    faults[i][0],
+					Outcome:  out,
+					Injected: res.injected,
+					Cycles:   res.cycles,
+					Err:      msg,
+				}, nil
+			},
+		}
+	}
+	results, err := exp.Run(ctx, jobs, exp.Options{Workers: c.Workers, Timeout: c.Timeout})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Machine:        c.machineName(),
+		Seed:           c.Seed,
+		GoldenInstret:  goldenInstret,
+		BaselineCycles: baseRes.cycles,
+		Trials:         make([]Trial, trials),
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			// The trial itself never errors; exp-level failures are a
+			// panicking simulator (crash) or the per-trial wall-clock
+			// budget (hang).
+			out := Crash
+			if errors.Is(r.Err, diagerr.ErrTimeout) {
+				out = Hang
+			}
+			rep.Trials[i] = Trial{Fault: faults[i][0], Outcome: out, Injected: true, Err: out.String()}
+			continue
+		}
+		rep.Trials[i] = r.Value.(Trial)
+	}
+	return rep, nil
+}
+
+// dataRegion resolves the SiteMem target range.
+func (c *Campaign) dataRegion() (addr, length uint32) {
+	if c.DataLen > 0 {
+		return c.DataAddr, c.DataLen
+	}
+	lo, hi := uint32(0), uint32(0)
+	for _, s := range c.Image.Segments {
+		if len(s.Data) == 0 {
+			continue
+		}
+		end := s.Addr + uint32(len(s.Data))
+		if hi == 0 || s.Addr < lo {
+			lo = s.Addr
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	if hi > lo {
+		return lo, hi - lo
+	}
+	// No initialized data: target the page past text (scratch space).
+	return c.Image.TextEnd(), 4096
+}
+
+func (c *Campaign) machineName() string {
+	if c.DiAG != nil {
+		if c.DiAG.Name != "" {
+			return c.DiAG.Name
+		}
+		return "diag"
+	}
+	if c.OoO.Name != "" {
+		return c.OoO.Name
+	}
+	return "ooo"
+}
+
+// runner builds a closure running one (possibly faulted) simulation.
+// Budgets of 0 keep the configuration's own values (unfaulted run).
+func (c *Campaign) runner(faults []Fault, dataAddr, dataLen uint32, maxInst uint64, maxCycles int64) func(context.Context) runResult {
+	img := c.Image
+	textLen := uint32(len(img.Text)) * 4
+	if c.DiAG != nil {
+		cfg := *c.DiAG
+		if maxInst > 0 {
+			cfg.MaxInstructions = maxInst
+		}
+		if maxCycles > 0 {
+			cfg.MaxCycles = maxCycles
+		}
+		return func(ctx context.Context) runResult {
+			mach, err := diag.NewMachine(cfg, img)
+			if err != nil {
+				return runResult{err: err}
+			}
+			ring := mach.Ring(0)
+			inj := NewInjector(Target{
+				CPU:      ring.CPU(),
+				TextAddr: img.TextAddr, TextLen: textLen,
+				DataAddr: dataAddr, DataLen: dataLen,
+				DisableCluster: ring.DisableCluster,
+				Clusters:       cfg.Clusters,
+			}, faults)
+			ring.PreStep = inj.Poll
+			err = mach.RunContext(ctx)
+			return runResult{
+				digest:   mach.Mem().Digest(),
+				pc:       ring.CPU().PC,
+				cycles:   mach.Stats().Cycles,
+				injected: inj.Injected > 0,
+				err:      err,
+			}
+		}
+	}
+	cfg := *c.OoO
+	if maxInst > 0 {
+		cfg.MaxInstructions = maxInst
+	}
+	if maxCycles > 0 {
+		cfg.MaxCycles = maxCycles
+	}
+	return func(ctx context.Context) runResult {
+		mach, err := ooo.NewMachine(cfg, img)
+		if err != nil {
+			return runResult{err: err}
+		}
+		core := mach.Core(0)
+		inj := NewInjector(Target{
+			CPU:      core.CPU(),
+			TextAddr: img.TextAddr, TextLen: textLen,
+			DataAddr: dataAddr, DataLen: dataLen,
+		}, faults)
+		core.PreStep = inj.Poll
+		err = mach.RunContext(ctx)
+		return runResult{
+			digest:   mach.Mem().Digest(),
+			pc:       core.CPU().PC,
+			cycles:   mach.Stats().Cycles,
+			injected: inj.Injected > 0,
+			err:      err,
+		}
+	}
+}
+
+// goldenRun executes the image on the ISS to completion.
+func goldenRun(img *mem.Image, cap uint64) (goldenRef, uint64, error) {
+	m := mem.New()
+	entry, err := img.Load(m)
+	if err != nil {
+		return goldenRef{}, 0, err
+	}
+	cpu := iss.New(m, entry)
+	// Match the machines' single-hart boot convention (tp = hart id,
+	// gp = hart count): workloads read these to partition their work.
+	cpu.X[isa.TP] = 0
+	cpu.X[isa.GP] = 1
+	cpu.Run(cap)
+	if cpu.Err != nil {
+		return goldenRef{}, 0, cpu.Err
+	}
+	if !cpu.Halted {
+		return goldenRef{}, 0, diagerr.Wrap(diagerr.ErrMaxInstructions,
+			"fault: golden run hit the %d-instruction cap before halting", cap)
+	}
+	return goldenRef{
+		digest:   m.Digest(),
+		textAddr: img.TextAddr,
+		textEnd:  img.TextEnd(),
+	}, cpu.Instret, nil
+}
+
+// classify maps one faulted run's outcome into the taxonomy.
+func classify(res runResult, golden goldenRef) (Outcome, string) {
+	if res.err == nil {
+		if res.digest == golden.digest {
+			return Masked, ""
+		}
+		return SDC, ""
+	}
+	msg := res.err.Error()
+	switch {
+	case errors.Is(res.err, diagerr.ErrStalled),
+		errors.Is(res.err, diagerr.ErrMaxCycles),
+		errors.Is(res.err, diagerr.ErrMaxInstructions),
+		errors.Is(res.err, diagerr.ErrTimeout):
+		return Hang, msg
+	case errors.Is(res.err, diagerr.ErrBadProgram):
+		if res.pc >= golden.textAddr && res.pc < golden.textEnd {
+			// Precise trap with control still inside the program: the
+			// hardware detected the fault.
+			return Detected, msg
+		}
+		return Crash, msg
+	}
+	return Crash, msg
+}
+
+// Counts tallies trials per (site class, outcome).
+func (r *Report) Counts() [numClasses][numOutcomes]int {
+	var n [numClasses][numOutcomes]int
+	for _, t := range r.Trials {
+		if t.Fault.Class >= 0 && t.Fault.Class < numClasses && t.Outcome >= 0 && t.Outcome < numOutcomes {
+			n[t.Fault.Class][t.Outcome]++
+		}
+	}
+	return n
+}
+
+// AVF returns the architectural vulnerability factor of a site class:
+// the fraction of its faults with any visible effect (1 − masked
+// share). Returns 0 for a class with no trials.
+func (r *Report) AVF(c Class) float64 {
+	counts := r.Counts()
+	total := 0
+	for _, n := range counts[c] {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(counts[c][Masked])/float64(total)
+}
+
+// Table renders the AVF-style vulnerability table: one row per site
+// class with a trial-count breakdown by outcome, plus a total row. The
+// output is a pure function of the trial list, so a fixed-seed
+// campaign renders byte-identically regardless of worker count.
+func (r *Report) Table() string {
+	title := fmt.Sprintf("Fault campaign: %s, %d trials, seed %d", r.Machine, len(r.Trials), r.Seed)
+	if r.Workload != "" {
+		title = fmt.Sprintf("Fault campaign: %s on %s, %d trials, seed %d",
+			r.Workload, r.Machine, len(r.Trials), r.Seed)
+	}
+	tab := stats.NewTable(title, "site", "trials", "masked", "SDC", "detected", "crash", "hang", "AVF")
+	counts := r.Counts()
+	var total [numOutcomes]int
+	grand := 0
+	for c := Class(0); c < numClasses; c++ {
+		n := 0
+		for _, v := range counts[c] {
+			n += v
+		}
+		if n == 0 {
+			continue
+		}
+		grand += n
+		for o := Outcome(0); o < numOutcomes; o++ {
+			total[o] += counts[c][o]
+		}
+		tab.AddRowf(c.String(), n,
+			counts[c][Masked], counts[c][SDC], counts[c][Detected],
+			counts[c][Crash], counts[c][Hang], r.AVF(c))
+	}
+	avf := 0.0
+	if grand > 0 {
+		avf = 1 - float64(total[Masked])/float64(grand)
+	}
+	tab.AddRowf("TOTAL", grand,
+		total[Masked], total[SDC], total[Detected], total[Crash], total[Hang], avf)
+	return tab.String()
+}

@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+
+	"diag/internal/diag"
+	"diag/internal/exp"
+	"diag/internal/mem"
+	"diag/internal/stats"
+)
+
+// DegradePoint is one entry of a degradation curve: the machine ran
+// correctly with Disabled clusters fused off, at Slowdown times the
+// healthy machine's cycles.
+type DegradePoint struct {
+	Disabled int
+	Enabled  int
+	Cycles   int64
+	Slowdown float64
+}
+
+// Degradation quantifies the paper's redundancy argument (§5.1.4): a
+// DiAG processor with k clusters fused off keeps running — cluster
+// reuse remaps lines onto the survivors — only slower. It runs cfg's
+// image healthy and then with k = 1, 2, … clusters disabled (up to
+// maxDisabled, clamped so at least 2 clusters survive), verifies every
+// degraded run's final memory against the golden ISS, and returns the
+// slowdown curve. Runs fan out over internal/exp; results are ordered
+// by k regardless of workers.
+func Degradation(ctx context.Context, cfg diag.Config, img *mem.Image, maxDisabled, workers int) ([]DegradePoint, error) {
+	if cfg.Rings > 1 {
+		return nil, fmt.Errorf("fault: degradation sweep needs Rings == 1")
+	}
+	golden, _, err := goldenRun(img, maxGolden(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("fault: golden run: %w", err)
+	}
+	clusters := cfg.Clusters
+	if clusters == 0 {
+		clusters = 2
+	}
+	if maxDisabled > clusters-2 {
+		maxDisabled = clusters - 2
+	}
+	if maxDisabled < 0 {
+		maxDisabled = 0
+	}
+
+	jobs := make([]exp.Job, maxDisabled+1)
+	for k := 0; k <= maxDisabled; k++ {
+		kcfg := cfg
+		kcfg.DisabledClusterMask = (uint64(1) << uint(k)) - 1
+		jobs[k] = exp.Job{
+			Name: fmt.Sprintf("disabled-%d", k),
+			Run: func(ctx context.Context) (any, error) {
+				mach, err := diag.NewMachine(kcfg, img)
+				if err != nil {
+					return nil, err
+				}
+				if err := mach.RunContext(ctx); err != nil {
+					return nil, err
+				}
+				if d := mach.Mem().Digest(); d != golden.digest {
+					return nil, fmt.Errorf("degraded run (k=%d) produced wrong output", k)
+				}
+				return mach.Stats().Cycles, nil
+			},
+		}
+	}
+	results, err := exp.Run(ctx, jobs, exp.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	if err := exp.FirstErr(results); err != nil {
+		return nil, err
+	}
+
+	points := make([]DegradePoint, len(results))
+	base := results[0].Value.(int64)
+	for k, r := range results {
+		cycles := r.Value.(int64)
+		points[k] = DegradePoint{
+			Disabled: k,
+			Enabled:  clusters - k,
+			Cycles:   cycles,
+			Slowdown: stats.Ratio(float64(cycles), float64(base)),
+		}
+	}
+	return points, nil
+}
+
+// maxGolden picks the golden run's instruction cap from the config.
+func maxGolden(cfg diag.Config) uint64 {
+	if cfg.MaxInstructions > 0 {
+		return cfg.MaxInstructions
+	}
+	return 500_000_000
+}
+
+// DegradationTable renders a degradation curve.
+func DegradationTable(name string, points []DegradePoint) string {
+	tab := stats.NewTable(fmt.Sprintf("Degraded-mode slowdown: %s", name),
+		"disabled", "enabled", "cycles", "slowdown")
+	for _, p := range points {
+		tab.AddRowf(fmt.Sprint(p.Disabled), p.Enabled, p.Cycles, p.Slowdown)
+	}
+	return tab.String()
+}

@@ -1,0 +1,323 @@
+// Package fault is the deterministic fault-injection and resilience
+// layer spanning both machine models. It perturbs a running machine's
+// architectural state at scheduled cycles — register-lane values,
+// cluster instruction buffers, PE enable signals, memory words, OoO
+// ROB/IQ entries — and classifies each run against the golden ISS as
+// masked, SDC, detected, crash, or hang (the standard fault-injection
+// taxonomy; cf. the paper's §5.1.4 redundancy argument, which this
+// package quantifies).
+//
+// Everything is seed-driven: a fault is a plain (cycle, site, bit)
+// value, campaigns derive every fault from a rand.Source, and the
+// machines are deterministic, so any campaign replays exactly from its
+// seed — across runs and across worker counts.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"diag/internal/iss"
+	"diag/internal/mem"
+)
+
+// Class names a category of fault site. The repo's machines are
+// execution-driven — architectural state lives in the shared iss.CPU
+// and mem.Memory while the structural machinery (lanes, buffers, ROB)
+// is timing bookkeeping — so each hardware site maps to the
+// architectural state it holds.
+type Class int
+
+// Fault-site classes.
+const (
+	// SiteLane is an integer register-lane value (DiAG) or physical
+	// integer register (OoO): one bit of an X register.
+	SiteLane Class = iota
+	// SiteFLane is a floating-point lane value / register: one bit of
+	// an F register.
+	SiteFLane
+	// SitePC is the PC lane / fetch PC.
+	SitePC
+	// SiteIBuf is a word of a cluster instruction buffer (DiAG) or
+	// fetch line (OoO). The corrupted word persists — a flipped bit in
+	// a loaded I-line stays wrong until the line is reloaded, and this
+	// model cannot observe reloads — so IBuf faults are stuck-until-end.
+	SiteIBuf
+	// SiteEnable is a cluster's PE-enable group: the fault fuses the
+	// cluster off, exercising the degraded-mode remap path. DiAG only;
+	// on machines without a DisableCluster hook it is a no-op (masked).
+	SiteEnable
+	// SiteMem is a data-memory word. The caches in this repository are
+	// timing-only (contents functionally live in mem.Memory), so a
+	// cache-line data fault and a memory-word fault are the same event;
+	// ParseClasses accepts "cache" as an alias.
+	SiteMem
+	// SiteROB is an OoO reorder-buffer entry: a corrupted in-flight
+	// result that commits, i.e. one bit of the destination register.
+	SiteROB
+	// SiteIQ is an OoO issue-queue entry: the instruction word about to
+	// issue executes corrupted once, then the entry is gone — modeled
+	// as a one-instruction transient flip of the word at the current
+	// PC, restored at the next step.
+	SiteIQ
+
+	numClasses
+)
+
+var classNames = [numClasses]string{"lane", "flane", "pc", "ibuf", "enable", "mem", "rob", "iq"}
+
+func (c Class) String() string {
+	if c < 0 || c >= numClasses {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// AllClasses returns every site class, in declaration order.
+func AllClasses() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// ParseClasses parses a comma-separated site list ("lane,mem,ibuf").
+// Accepted aliases: "reg" → lane, "freg" → flane, "cache" → mem, and
+// "all" for every class.
+func ParseClasses(s string) ([]Class, error) {
+	var out []Class
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(strings.ToLower(tok))
+		switch tok {
+		case "":
+			continue
+		case "all":
+			return AllClasses(), nil
+		case "reg":
+			out = append(out, SiteLane)
+		case "freg":
+			out = append(out, SiteFLane)
+		case "cache":
+			out = append(out, SiteMem)
+		default:
+			found := false
+			for i, n := range classNames {
+				if tok == n {
+					out = append(out, Class(i))
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("fault: unknown site class %q (want %s)",
+					tok, strings.Join(classNames[:], ","))
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fault: empty site list")
+	}
+	return out, nil
+}
+
+// Fault is one scheduled perturbation: at the first step whose cycle
+// reaches Cycle, flip (or force) bit Bit of site instance Index in
+// Class. Faults are plain comparable values, so campaigns can log,
+// hash, and replay them.
+type Fault struct {
+	Cycle int64
+	Class Class
+	Index int // site instance; reduced modulo the machine's geometry
+	Bit   int // bit position; reduced modulo the site width
+	// StuckAt selects the fault model: -1 is a transient bit-flip
+	// (XOR once), 0 or 1 force the bit to that value at every
+	// subsequent step (a stuck-at fault). Stuck-at applies to the
+	// value-holding sites (lane, flane, mem); other classes treat any
+	// StuckAt as a transient flip.
+	StuckAt int
+}
+
+func (f Fault) String() string {
+	model := "flip"
+	if f.StuckAt == 0 || f.StuckAt == 1 {
+		model = fmt.Sprintf("stuck@%d", f.StuckAt)
+	}
+	// Register sites show the architectural register the raw index
+	// resolves to; the others keep the index (their resolution depends
+	// on machine geometry the fault doesn't know).
+	site := fmt.Sprintf("%s[%d]", f.Class, f.Index)
+	switch f.Class {
+	case SiteLane, SiteROB:
+		site = fmt.Sprintf("%s[x%d]", f.Class, 1+f.Index%31)
+	case SiteFLane:
+		site = fmt.Sprintf("%s[f%d]", f.Class, f.Index%32)
+	}
+	return fmt.Sprintf("%s bit %d %s @cycle %d", site, f.Bit, model, f.Cycle)
+}
+
+// Random draws one fault from rng: a class from classes, a cycle
+// uniform in [0, window), and a site/bit within generous ranges that
+// the injector reduces modulo the actual machine geometry. Stuck-at
+// faults are drawn for one in eight value-site faults.
+func Random(rng *rand.Rand, classes []Class, window int64) Fault {
+	if window < 1 {
+		window = 1
+	}
+	f := Fault{
+		Cycle:   rng.Int63n(window),
+		Class:   classes[rng.Intn(len(classes))],
+		Index:   rng.Intn(1 << 16),
+		Bit:     rng.Intn(32),
+		StuckAt: -1,
+	}
+	switch f.Class {
+	case SiteLane, SiteFLane, SiteMem:
+		if rng.Intn(8) == 0 {
+			f.StuckAt = rng.Intn(2)
+		}
+	}
+	return f
+}
+
+// Target describes the machine state an Injector perturbs. The timing
+// machines expose a PreStep hook instead of importing this package, so
+// a Target is assembled from their public accessors.
+type Target struct {
+	CPU *iss.CPU
+
+	// Program geometry, for reducing site indices: text for IBuf/IQ
+	// faults, data for Mem faults.
+	TextAddr, TextLen uint32 // bytes
+	DataAddr, DataLen uint32 // bytes
+
+	// DisableCluster, when non-nil, fuses off a cluster for SiteEnable
+	// faults (diag.Ring.DisableCluster). Clusters bounds the index.
+	DisableCluster func(i int) bool
+	Clusters       int
+}
+
+func (t Target) mem() *mem.Memory { return t.CPU.Mem }
+
+// wordRestore undoes a one-step transient instruction corruption.
+type wordRestore struct {
+	addr uint32
+	word uint32
+}
+
+// Injector applies a fault schedule to a Target. Hook Poll into the
+// machine's PreStep so it runs once per retired instruction:
+//
+//	inj := fault.NewInjector(target, faults)
+//	ring.PreStep = inj.Poll
+type Injector struct {
+	t       Target
+	pending []Fault // sorted by cycle, next at [0]
+	stuck   []Fault // active stuck-at faults, re-forced every poll
+	restore []wordRestore
+	// Injected counts faults actually applied (a fault scheduled past
+	// the end of the run never fires and the run is trivially masked).
+	Injected int
+}
+
+// NewInjector copies and sorts faults by cycle. The order of equal
+// cycles follows the input, keeping campaigns deterministic.
+func NewInjector(t Target, faults []Fault) *Injector {
+	p := append([]Fault(nil), faults...)
+	sort.SliceStable(p, func(i, j int) bool { return p[i].Cycle < p[j].Cycle })
+	return &Injector{t: t, pending: p}
+}
+
+// Poll advances the injector to cycle now: transient instruction
+// corruptions from the previous step are restored, active stuck-at
+// faults are re-forced, and every pending fault whose cycle has
+// arrived is applied.
+func (in *Injector) Poll(now int64) {
+	for _, r := range in.restore {
+		in.t.mem().StoreWord(r.addr, r.word)
+	}
+	in.restore = in.restore[:0]
+	for _, f := range in.stuck {
+		in.force(f)
+	}
+	for len(in.pending) > 0 && in.pending[0].Cycle <= now {
+		f := in.pending[0]
+		in.pending = in.pending[1:]
+		in.apply(f)
+		in.Injected++
+	}
+}
+
+// apply performs one fault's first (or only) perturbation.
+func (in *Injector) apply(f Fault) {
+	t := in.t
+	switch f.Class {
+	case SiteLane, SiteROB:
+		if f.StuckAt >= 0 && f.Class == SiteLane {
+			in.stuck = append(in.stuck, f)
+			in.force(f)
+			return
+		}
+		t.CPU.X[1+f.Index%31] ^= 1 << (f.Bit % 32)
+	case SiteFLane:
+		if f.StuckAt >= 0 {
+			in.stuck = append(in.stuck, f)
+			in.force(f)
+			return
+		}
+		t.CPU.F[f.Index%32] ^= 1 << (f.Bit % 32)
+	case SitePC:
+		t.CPU.PC ^= 1 << (f.Bit % 32)
+	case SiteIBuf:
+		if t.TextLen >= 4 {
+			addr := t.TextAddr + 4*uint32(f.Index)%(t.TextLen&^3)
+			t.mem().StoreWord(addr, t.mem().LoadWord(addr)^1<<(f.Bit%32))
+		}
+	case SiteEnable:
+		if t.DisableCluster != nil && t.Clusters > 0 {
+			t.DisableCluster(f.Index % t.Clusters)
+		}
+	case SiteMem:
+		if f.StuckAt >= 0 {
+			in.stuck = append(in.stuck, f)
+			in.force(f)
+			return
+		}
+		if t.DataLen >= 4 {
+			addr := t.DataAddr + 4*uint32(f.Index)%(t.DataLen&^3)
+			t.mem().StoreWord(addr, t.mem().LoadWord(addr)^1<<(f.Bit%32))
+		}
+	case SiteIQ:
+		addr := t.CPU.PC
+		old := t.mem().LoadWord(addr)
+		t.mem().StoreWord(addr, old^1<<(f.Bit%32))
+		in.restore = append(in.restore, wordRestore{addr: addr, word: old})
+	}
+}
+
+// force holds a stuck-at fault's bit at its value.
+func (in *Injector) force(f Fault) {
+	t := in.t
+	set := func(word uint32) uint32 {
+		bit := uint32(1) << (f.Bit % 32)
+		if f.StuckAt == 1 {
+			return word | bit
+		}
+		return word &^ bit
+	}
+	switch f.Class {
+	case SiteLane:
+		r := 1 + f.Index%31
+		t.CPU.X[r] = set(t.CPU.X[r])
+	case SiteFLane:
+		r := f.Index % 32
+		t.CPU.F[r] = set(t.CPU.F[r])
+	case SiteMem:
+		if t.DataLen >= 4 {
+			addr := t.DataAddr + 4*uint32(f.Index)%(t.DataLen&^3)
+			t.mem().StoreWord(addr, set(t.mem().LoadWord(addr)))
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package isa
+
+import "testing"
+
+// FuzzDecode hammers the decoder with arbitrary instruction words. Any
+// word that decodes must re-encode, and the re-encoded word must decode
+// back to the identical Inst — the encoder and decoder agree on every
+// reachable instruction, not just the ones the assembler emits.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0x00000013))                                           // addi x0, x0, 0
+	f.Add(uint32(0x00100073))                                           // ebreak
+	f.Add(MustEncode(Inst{Op: OpBLT, Rs1: T0, Rs2: T1, Imm: -8}))       // branch
+	f.Add(MustEncode(Inst{Op: OpFMADDS, Rd: 1, Rs1: 2, Rs2: 3, Rs3: 4}))     // R4-type
+	f.Add(uint32(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		_ = in.String()
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Decode(%#x) = %v, but Encode rejects it: %v", w, in, err)
+		}
+		in2, err := Decode(w2)
+		if err != nil {
+			t.Fatalf("re-encoded word %#x (from %#x) fails to decode: %v", w2, w, err)
+		}
+		if in2 != in {
+			t.Fatalf("round trip drifted: %#x -> %v -> %#x -> %v", w, in, w2, in2)
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package mem
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzMemoryOps drives the sparse memory with arbitrary address/value
+// pairs — including page-straddling and wrap-around addresses — and
+// checks the invariants the simulators lean on: store/load round trips,
+// word accesses decompose into little-endian bytes, and Clone produces
+// an independent copy with an equal digest.
+func FuzzMemoryOps(f *testing.F) {
+	f.Add(uint32(0x1000), uint32(0xDEADBEEF))
+	f.Add(uint32(PageSize-2), uint32(0x01020304)) // straddles a page boundary
+	f.Add(uint32(0xFFFFFFFE), uint32(0xCAFEF00D)) // wraps the address space
+	f.Add(uint32(0), uint32(0))
+	f.Fuzz(func(t *testing.T, addr, val uint32) {
+		m := New()
+		m.StoreWord(addr, val)
+		if got := m.LoadWord(addr); got != val {
+			t.Fatalf("LoadWord(%#x) = %#x after StoreWord %#x", addr, got, val)
+		}
+		var le [4]byte
+		binary.LittleEndian.PutUint32(le[:], val)
+		for i := uint32(0); i < 4; i++ {
+			if got := m.LoadByte(addr + i); got != le[i] {
+				t.Fatalf("byte %d of word at %#x: got %#x, want %#x", i, addr, got, le[i])
+			}
+		}
+		m.StoreHalf(addr, 0xABCD)
+		if got := m.LoadHalf(addr); got != 0xABCD {
+			t.Fatalf("LoadHalf(%#x) = %#x", addr, got)
+		}
+
+		c := m.Clone()
+		if c.Digest() != m.Digest() {
+			t.Fatal("clone digest differs from original")
+		}
+		c.StoreByte(addr, m.LoadByte(addr)+1)
+		if got, want := m.LoadByte(addr), byte(0xCD); got != want {
+			t.Fatalf("clone write leaked into original: got %#x, want %#x", got, want)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 )
 
 const (
@@ -148,6 +149,45 @@ func (m *Memory) Checksum(addr, n uint32) uint64 {
 
 // Footprint returns the number of bytes of backing store allocated.
 func (m *Memory) Footprint() int { return len(m.pages) * PageSize }
+
+// Digest hashes the entire memory image into one word, independent of
+// allocation order and allocation pattern: pages are visited in address
+// order and all-zero pages hash like never-touched ones, so two
+// memories with identical contents always digest identically. Used by
+// the fault-injection layer to compare a run's final memory against the
+// golden model's without enumerating address ranges.
+func (m *Memory) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	idxs := make([]uint32, 0, len(m.pages))
+	for idx, p := range m.pages {
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if !zero {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	h := uint64(offset64)
+	for _, idx := range idxs {
+		for i := 0; i < 4; i++ {
+			h ^= uint64(idx >> (8 * i) & 0xFF)
+			h *= prime64
+		}
+		for _, b := range m.pages[idx] {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
+}
 
 // Clone returns a deep copy; used to give each simulated machine an
 // identical initial memory image.

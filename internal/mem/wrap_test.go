@@ -1,0 +1,116 @@
+package mem
+
+import "testing"
+
+// The sparse memory is total over the 32-bit space: there is no
+// out-of-bounds, only wrap-around. These tests pin the edge behaviour
+// the machines rely on (the ISS reports misalignment as a program
+// error, but the memory itself must stay consistent byte-wise).
+
+func TestWordWrapsAddressSpace(t *testing.T) {
+	m := New()
+	m.StoreWord(0xFFFFFFFE, 0x11223344)
+	if got := m.LoadWord(0xFFFFFFFE); got != 0x11223344 {
+		t.Fatalf("wrap-around word = %#x, want 0x11223344", got)
+	}
+	// The high two bytes wrapped to addresses 0 and 1.
+	if b0, b1 := m.LoadByte(0), m.LoadByte(1); b0 != 0x22 || b1 != 0x11 {
+		t.Fatalf("wrapped bytes = %#x %#x, want 0x22 0x11", b0, b1)
+	}
+	if got := m.LoadByte(0xFFFFFFFE); got != 0x44 {
+		t.Fatalf("byte at 0xFFFFFFFE = %#x, want 0x44", got)
+	}
+}
+
+func TestHalfWrapsAddressSpace(t *testing.T) {
+	m := New()
+	m.StoreHalf(0xFFFFFFFF, 0xBEEF)
+	if got := m.LoadHalf(0xFFFFFFFF); got != 0xBEEF {
+		t.Fatalf("wrap-around half = %#x, want 0xBEEF", got)
+	}
+	if got := m.LoadByte(0); got != 0xBE {
+		t.Fatalf("high byte should wrap to address 0: got %#x", got)
+	}
+}
+
+func TestMisalignedWordAcrossPages(t *testing.T) {
+	m := New()
+	addr := uint32(PageSize - 2) // two bytes in page 0, two in page 1
+	m.StoreWord(addr, 0xA1B2C3D4)
+	if got := m.LoadWord(addr); got != 0xA1B2C3D4 {
+		t.Fatalf("page-straddling word = %#x", got)
+	}
+	// Equivalent byte-wise view, and only two pages allocated.
+	if m.LoadByte(addr+1) != 0xC3 || m.LoadByte(addr+2) != 0xB2 {
+		t.Fatal("page-straddling word has wrong byte layout")
+	}
+	if m.Footprint() != 2*PageSize {
+		t.Fatalf("footprint = %d, want 2 pages", m.Footprint())
+	}
+}
+
+func TestStoreBytesWrapAndReadBack(t *testing.T) {
+	m := New()
+	m.StoreBytes(0xFFFFFFFC, []byte{1, 2, 3, 4, 5, 6})
+	got := m.LoadBytes(0xFFFFFFFC, 6)
+	for i, b := range got {
+		if b != byte(i+1) {
+			t.Fatalf("wrapped bulk copy byte %d = %d", i, b)
+		}
+	}
+	if m.LoadByte(1) != 6 {
+		t.Fatalf("tail should wrap to address 1: got %d", m.LoadByte(1))
+	}
+}
+
+func TestDigestProperties(t *testing.T) {
+	a, b := New(), New()
+	a.StoreWord(0x1000, 42)
+	b.StoreWord(0x1000, 42)
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal contents, unequal digests")
+	}
+
+	// Touching a page with zeros must not change the digest: a faulted
+	// run that stores zero into untouched memory still compares equal
+	// to a golden run that never allocated the page.
+	d := a.Digest()
+	a.StoreWord(0x8000, 0)
+	if a.Digest() != d {
+		t.Fatal("allocating an all-zero page changed the digest")
+	}
+
+	// Any non-zero byte anywhere must change it.
+	a.StoreByte(0x8FFF, 1)
+	if a.Digest() == d {
+		t.Fatal("digest missed a single-byte change")
+	}
+
+	// Clone digests match and then diverge independently.
+	c := b.Clone()
+	if c.Digest() != b.Digest() {
+		t.Fatal("clone digest differs")
+	}
+	c.StoreByte(0x1000, 99)
+	if c.Digest() == b.Digest() {
+		t.Fatal("clone mutation did not change its digest")
+	}
+	if b.LoadWord(0x1000) != 42 {
+		t.Fatal("clone mutation leaked into the original")
+	}
+}
+
+func TestDigestOrderIndependent(t *testing.T) {
+	// Pages are held in a map; the digest must not depend on insertion
+	// or iteration order.
+	a, b := New(), New()
+	for i := 0; i < 8; i++ {
+		a.StoreWord(uint32(i)*0x10000, uint32(i)+1)
+	}
+	for i := 7; i >= 0; i-- {
+		b.StoreWord(uint32(i)*0x10000, uint32(i)+1)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("digest depends on page insertion order")
+	}
+}

@@ -137,6 +137,14 @@ type Core struct {
 	cfg Config
 	cpu *iss.CPU
 
+	// PreStep, when non-nil, is called once per retired instruction just
+	// before the architectural step, with the current commit cycle. The
+	// fault-injection layer (internal/fault) hooks it to flip
+	// architectural state at scheduled cycles.
+	PreStep func(now int64)
+
+	watchdog iss.Watchdog
+
 	icache *cache.Cache
 	l1d    *cache.Cache
 
@@ -239,10 +247,18 @@ func (c *Core) RunContext(ctx context.Context) error {
 				return diagerr.FromContext(ctx.Err())
 			default:
 			}
+			if steps > 0 && c.watchdog.Stalled(c.cpu, c.stats.Stores) {
+				return diagerr.Wrap(diagerr.ErrStalled,
+					"ooo: no architectural progress after %d retired instructions (PC 0x%x)",
+					c.stats.Retired, c.cpu.PC)
+			}
 		}
 		if cfg.MaxCycles > 0 && c.now > cfg.MaxCycles {
 			return diagerr.Wrap(diagerr.ErrMaxCycles,
 				"ooo: cycle budget %d exceeded after %d retired instructions", cfg.MaxCycles, c.stats.Retired)
+		}
+		if c.PreStep != nil {
+			c.PreStep(c.now)
 		}
 		pc := c.cpu.PC
 		ex := c.cpu.Step()

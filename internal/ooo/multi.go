@@ -41,7 +41,7 @@ func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
 		var shared cache.Port = mach.dram
 		size := cfg.L2Size
 		if cfg.Cores > 1 {
-			size = cache.RoundSize(maxInt(cfg.L2Size/cfg.Cores, 64<<10), 64, 8)
+			size = cache.RoundSize(max(cfg.L2Size/cfg.Cores, 64<<10), 64, 8)
 		}
 		if size > 0 {
 			l2 := cache.New(cache.Config{
@@ -56,13 +56,6 @@ func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
 		mach.cores = append(mach.cores, core)
 	}
 	return mach, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Config returns the machine's configuration.

@@ -36,6 +36,11 @@ var (
 	// instruction, misaligned access, unsupported system call, or a
 	// malformed SIMT region.
 	ErrBadProgram = diagerr.ErrBadProgram
+	// ErrStalled: the machine's retirement watchdog proved a livelock —
+	// the full architectural state recurred with no intervening store,
+	// so the program can never halt. Returned by Run and RunBaseline
+	// long before a cycle budget would expire.
+	ErrStalled = diagerr.ErrStalled
 )
 
 // ---- Functional run options ----

@@ -11,10 +11,19 @@ import (
 	"diag"
 )
 
-// spin never halts: every budget and cancellation path must be able to
-// stop it.
+// spin never halts and never changes state: the retirement watchdog
+// proves the livelock and stops it with ErrStalled.
 const spin = `
 loop:
+	j loop
+`
+
+// spinBusy never halts but makes architectural progress every
+// iteration (the counter advances), so the watchdog cannot prove a
+// livelock — only budgets and cancellation can stop it.
+const spinBusy = `
+loop:
+	addi t0, t0, 1
 	j loop
 `
 
@@ -34,7 +43,7 @@ func mustAssemble(t *testing.T, src string) *diag.Program {
 }
 
 func TestWithMaxCycles(t *testing.T) {
-	img := mustAssemble(t, spin)
+	img := mustAssemble(t, spinBusy)
 	_, _, err := diag.Run(diag.F4C2(), img, diag.WithMaxCycles(1000))
 	if !errors.Is(err, diag.ErrMaxCycles) {
 		t.Errorf("Run: err = %v, want ErrMaxCycles", err)
@@ -46,7 +55,7 @@ func TestWithMaxCycles(t *testing.T) {
 }
 
 func TestWithMaxInstructions(t *testing.T) {
-	img := mustAssemble(t, spin)
+	img := mustAssemble(t, spinBusy)
 	_, _, err := diag.Run(diag.F4C2(), img, diag.WithMaxInstructions(5000))
 	if !errors.Is(err, diag.ErrMaxInstructions) {
 		t.Errorf("Run: err = %v, want ErrMaxInstructions", err)
@@ -61,7 +70,7 @@ func TestWithMaxInstructions(t *testing.T) {
 }
 
 func TestWithTimeout(t *testing.T) {
-	img := mustAssemble(t, spin)
+	img := mustAssemble(t, spinBusy)
 	start := time.Now()
 	_, _, err := diag.Run(diag.F4C2(), img, diag.WithTimeout(50*time.Millisecond))
 	if !errors.Is(err, diag.ErrTimeout) {
@@ -101,6 +110,21 @@ func TestBadProgramTaxonomy(t *testing.T) {
 	}
 	if _, err := diag.Interpret(img, 1000); !errors.Is(err, diag.ErrBadProgram) {
 		t.Errorf("Interpret: err = %v, want ErrBadProgram", err)
+	}
+}
+
+func TestStalledTaxonomy(t *testing.T) {
+	img := mustAssemble(t, spin)
+	_, _, err := diag.Run(diag.F4C2(), img)
+	if !errors.Is(err, diag.ErrStalled) {
+		t.Errorf("Run: err = %v, want ErrStalled", err)
+	}
+	if errors.Is(err, diag.ErrMaxCycles) || errors.Is(err, diag.ErrMaxInstructions) {
+		t.Error("a proven livelock must not match the budget sentinels")
+	}
+	_, _, err = diag.RunBaseline(diag.Baseline(), img)
+	if !errors.Is(err, diag.ErrStalled) {
+		t.Errorf("RunBaseline: err = %v, want ErrStalled", err)
 	}
 }
 
