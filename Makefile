@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check vet bench figures tables examples cover clean fuzz-smoke
+.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke
 
 all: build vet test
 
@@ -36,6 +36,15 @@ fuzz-smoke:
 # Full benchmark run: every paper figure/table plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Host simulator throughput (sim-MIPS per machine model), written to
+# BENCH_host.json so every PR's trajectory is tracked. Compare two
+# checkouts with: diag-bench -hostbench-convert old.json > old.txt (and
+# likewise for new), then benchstat old.txt new.txt.
+bench-host:
+	$(GO) run ./cmd/diag-bench -hostbench \
+		$(if $(wildcard BENCH_host.json),-hostbench-baseline BENCH_host.json) \
+		-hostbench-json BENCH_host.json
 
 # Regenerate the paper's evaluation artifacts as text tables.
 figures:

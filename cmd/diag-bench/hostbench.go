@@ -1,0 +1,140 @@
+package main
+
+// Host-throughput measurement and profiling hooks. These exist so the
+// simulator's own performance is a tracked artifact:
+//
+//	diag-bench -hostbench -hostbench-json BENCH_host.json   # measure
+//	diag-bench -hostbench -hostbench-baseline BENCH_host.json
+//	                                    # measure + warn on >20% loss
+//	diag-bench -hostbench-convert BENCH_host.json           # for benchstat
+//	diag-bench -all -cpuprofile diag.pprof                  # profile a sweep
+//
+// The regression comparison is warn-only (exit status stays 0): shared
+// CI runners are noisy and the committed baseline may come from
+// different hardware, so the gate flags suspects instead of failing
+// builds on scheduler jitter.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"diag/internal/hostbench"
+)
+
+// hostbenchFlags groups the flag values wired up in main.
+type hostbenchFlags struct {
+	run       *bool
+	cases     *string
+	jsonPath  *string
+	baseline  *string
+	threshold *float64
+	benchfmt  *bool
+	convert   *string
+}
+
+// runHostbench executes the -hostbench / -hostbench-convert modes.
+func runHostbench(f hostbenchFlags) {
+	if *f.convert != "" {
+		data, err := os.ReadFile(*f.convert)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := hostbench.ReadReport(data)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteBenchFormat(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var names []string
+	if *f.cases != "" {
+		names = strings.Split(*f.cases, ",")
+	}
+	// Read the baseline before measuring: -hostbench-json may point at
+	// the same file, and the comparison must be against the old content.
+	var old *hostbench.Report
+	if *f.baseline != "" {
+		data, err := os.ReadFile(*f.baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if old, err = hostbench.ReadReport(data); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "diag-bench: measuring host throughput (about 1s per case)...")
+	rep, err := hostbench.Measure(names)
+	if err != nil {
+		fatal(err)
+	}
+	if *f.jsonPath != "" {
+		out, err := os.Create(*f.jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "diag-bench: wrote %s\n", *f.jsonPath)
+	}
+	if *f.benchfmt {
+		if err := rep.WriteBenchFormat(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("%-16s %10s %12s %10s\n", "case", "ns/inst|op", "sim-MIPS", "allocs/op")
+		for _, r := range rep.Results {
+			fmt.Printf("%-16s %10.1f %12.2f %10d\n", r.Name, r.NsPerOp, r.SimMIPS, r.AllocsPerOp)
+		}
+	}
+	if old != nil {
+		fmt.Println()
+		if warned := hostbench.WriteDeltas(os.Stdout, hostbench.Compare(old, rep, *f.threshold)); warned > 0 {
+			fmt.Fprintf(os.Stderr, "diag-bench: %d case(s) regressed beyond ±%.0f%% (warn-only)\n",
+				warned, *f.threshold*100)
+		}
+	}
+}
+
+// startCPUProfile begins a pprof CPU profile; the returned func stops it.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fatal(err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeHeapProfile snapshots the allocation profile at exit.
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
+}

@@ -41,7 +41,22 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
 	progress := flag.Bool("progress", true, "report live per-simulation progress on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	hb := hostbenchFlags{
+		run:       flag.Bool("hostbench", false, "measure host simulator throughput (sim-MIPS per model)"),
+		cases:     flag.String("hostbench-cases", "", "comma-separated hostbench case names (default: all)"),
+		jsonPath:  flag.String("hostbench-json", "", "also write the hostbench report as JSON to this file"),
+		baseline:  flag.String("hostbench-baseline", "", "compare against this BENCH_host.json (warn-only)"),
+		threshold: flag.Float64("hostbench-threshold", 0.2, "regression warning threshold (fraction of baseline sim-MIPS)"),
+		benchfmt:  flag.Bool("hostbench-benchfmt", false, "emit Go benchmark text format instead of a table"),
+		convert:   flag.String("hostbench-convert", "", "convert an existing BENCH_host.json to benchmark text format and exit"),
+	}
 	flag.Parse()
+
+	stopProfile := startCPUProfile(*cpuprofile)
+	defer stopProfile()
+	defer writeHeapProfile(*memprofile)
 
 	// Ctrl-C cancels the whole sweep rather than killing the process
 	// mid-write; a second Ctrl-C kills immediately (signal.NotifyContext
@@ -71,6 +86,8 @@ func main() {
 	}
 
 	switch {
+	case *hb.run || *hb.convert != "":
+		runHostbench(hb)
 	case *list:
 		fmt.Println(bench.Describe())
 	case *sweep != "":

@@ -88,16 +88,41 @@ func (r *Ring) fpuStart(ci int, start, lat int64, op isa.Op) int64 {
 	return start
 }
 
-// recordBranchTarget remembers resolved taken-branch targets so the
-// control unit can speculatively construct the target datapath next time
+// Speculative-target table geometry: a direct-mapped, branch-PC-indexed
+// table (hardware would build exactly this, not an unbounded map). 4096
+// entries cover 16 KiB of text conflict-free — larger than every kernel
+// in internal/workloads, so behavior is identical to the former map —
+// and a conflict only costs a missed speculation, never correctness.
+const (
+	specTargetBits = 12
+	specTargetSize = 1 << specTargetBits
+	specTargetMask = specTargetSize - 1
+)
+
+// specTarget is one entry: tag is the branch PC with bit 0 set (so PC 0
+// is representable and the zero value never matches); line is the last
+// observed taken-target line base.
+type specTarget struct {
+	tag  uint32
+	line uint32
+}
+
+// specTargetReady remembers resolved taken-branch targets so the control
+// unit can speculatively construct the target datapath next time
 // (SpeculativeDatapaths). Returns true if the target's line had been
 // speculatively loaded — the redirect then pays only the PC-lane restart
-// instead of a full fetch.
+// instead of a full fetch. An unseen branch PC predicts line 0, matching
+// the former map's missing-key semantics.
 func (r *Ring) specTargetReady(pc, target uint32) bool {
-	if !r.cfg.SpeculativeDatapaths {
+	if r.specTargets == nil {
 		return false
 	}
-	seen := r.specTargets[pc] == r.lineBase(target)
-	r.specTargets[pc] = r.lineBase(target)
-	return seen
+	line := target &^ r.clusterMask
+	e := &r.specTargets[(pc>>2)&specTargetMask]
+	var last uint32
+	if e.tag == pc|1 {
+		last = e.line
+	}
+	*e = specTarget{tag: pc | 1, line: line}
+	return last == line
 }

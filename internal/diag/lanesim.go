@@ -47,6 +47,11 @@ type LaneSim struct {
 	inInt [isa.NumRegs]uint32
 	inFP  [isa.NumRegs]uint32
 
+	// scratch one-instruction machine reused by execute: building a fresh
+	// memory and CPU (with its predecode table) per PE issue would
+	// dominate the simulation.
+	scratch *iss.CPU
+
 	cycle int
 }
 
@@ -73,6 +78,7 @@ func NewLaneSim(cfg Config, insts []isa.Inst, intRF [isa.NumRegs]uint32, fpRF [i
 		doneAt:    make([]int, len(insts)),
 		inInt:     intRF,
 		inFP:      fpRF,
+		scratch:   iss.New(mem.New(), 0),
 	}
 	for i := range ls.startAt {
 		ls.startAt[i] = -1
@@ -153,13 +159,15 @@ func (ls *LaneSim) ready(pos int) (intOps [isa.NumRegs]uint32, fpOps [isa.NumReg
 // isolated one-instruction machine.
 func (ls *LaneSim) execute(pos int, intOps [isa.NumRegs]uint32, fpOps [isa.NumRegs]uint32) error {
 	in := ls.insts[pos]
-	m := mem.New()
 	word, err := isa.Encode(in)
 	if err != nil {
 		return err
 	}
-	m.StoreWord(0, word)
-	cpu := iss.New(m, 0)
+	cpu := ls.scratch
+	cpu.Reset(0)
+	// Rewriting address 0 bumps the memory's code generation, so the
+	// reused CPU never replays a stale predecoded instruction.
+	cpu.Mem.StoreWord(0, word)
 	cpu.X = intOps
 	cpu.F = fpOps
 	cpu.Step()

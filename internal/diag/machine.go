@@ -61,9 +61,18 @@ type Ring struct {
 	intSrc [isa.NumRegs]operandSrc
 	fpSrc  [isa.NumRegs]operandSrc
 
-	strides     []strideState     // per window position (StridePrefetch)
-	fpus        [][]int64         // per cluster shared-FPU pools (SharedFPUs)
-	specTargets map[uint32]uint32 // branch PC -> last taken-target line (SpeculativeDatapaths)
+	strides     []strideState // per window position (StridePrefetch)
+	fpus        [][]int64     // per cluster shared-FPU pools (SharedFPUs)
+	specTargets []specTarget  // branch PC -> last taken-target line (SpeculativeDatapaths); nil when off
+
+	// Hot-path lookup structures. loaded lists the indices of currently
+	// loaded clusters (order irrelevant) so the per-step scans touch only
+	// resident clusters; lastCi is a one-entry findCluster hint — loops
+	// overwhelmingly stay in one cluster between steps — validated against
+	// the cluster's base before use, so it can never go stale.
+	clusterMask uint32 // ClusterBytes()-1, hoisted out of lineBase
+	loaded      []int
+	lastCi      int
 
 	now           int64 // frontier: latest retire time
 	prevRetire    int64
@@ -76,12 +85,15 @@ type Ring struct {
 // newRing wires a ring above the shared L2 (which may be nil).
 func newRing(cfg Config, m *mem.Memory, entry uint32, shared cache.Port) *Ring {
 	r := &Ring{
-		cfg:      cfg,
-		cpu:      iss.New(m, entry),
-		clusters: make([]clusterState, cfg.Clusters),
-		peFree:   make([]int64, cfg.Clusters*cfg.PEsPerCluster),
-		disabled: make([]bool, cfg.Clusters),
-		enabled:  cfg.Clusters,
+		cfg:         cfg,
+		cpu:         iss.New(m, entry),
+		clusters:    make([]clusterState, cfg.Clusters),
+		peFree:      make([]int64, cfg.Clusters*cfg.PEsPerCluster),
+		disabled:    make([]bool, cfg.Clusters),
+		enabled:     cfg.Clusters,
+		clusterMask: cfg.ClusterBytes() - 1,
+		loaded:      make([]int, 0, cfg.Clusters),
+		lastCi:      -1,
 	}
 	for i := 0; i < cfg.Clusters && i < 64; i++ {
 		if cfg.DisabledClusterMask&(1<<uint(i)) != 0 {
@@ -96,7 +108,9 @@ func newRing(cfg Config, m *mem.Memory, entry uint32, shared cache.Port) *Ring {
 			r.fpus[i] = make([]int64, cfg.SharedFPUs)
 		}
 	}
-	r.specTargets = make(map[uint32]uint32)
+	if cfg.SpeculativeDatapaths {
+		r.specTargets = make([]specTarget, specTargetSize)
+	}
 	r.icache = cfg.buildICache(shared)
 	r.l1d = cfg.buildL1D(shared)
 	r.memlanes = cache.New(cache.Config{
@@ -125,10 +139,26 @@ func (r *Ring) DisableCluster(i int) bool {
 	r.disabled[i] = true
 	r.enabled--
 	r.clusters[i] = clusterState{}
+	r.dropLoaded(i)
 	for j := 0; j < r.cfg.PEsPerCluster; j++ {
 		r.peFree[i*r.cfg.PEsPerCluster+j] = 0
 	}
 	return true
+}
+
+// dropLoaded removes cluster i from the loaded-cluster list (swap-delete;
+// order is irrelevant) and clears the findCluster hint if it pointed there.
+func (r *Ring) dropLoaded(i int) {
+	for k, ci := range r.loaded {
+		if ci == i {
+			r.loaded[k] = r.loaded[len(r.loaded)-1]
+			r.loaded = r.loaded[:len(r.loaded)-1]
+			break
+		}
+	}
+	if r.lastCi == i {
+		r.lastCi = -1
+	}
 }
 
 // Stats returns the accumulated statistics including cache snapshots.
@@ -150,8 +180,8 @@ const activeLinger = 256
 func (r *Ring) integrateActivity(now int64) {
 	delta := now - r.now
 	used := 0
-	for i := range r.clusters {
-		if r.clusters[i].loaded && now-r.clusters[i].lastUse < activeLinger {
+	for _, i := range r.loaded {
+		if now-r.clusters[i].lastUse < activeLinger {
 			used++
 		}
 	}
@@ -163,13 +193,20 @@ func (r *Ring) integrateActivity(now int64) {
 }
 
 // lineBase returns the cluster-aligned base of addr.
-func (r *Ring) lineBase(addr uint32) uint32 { return addr &^ (r.cfg.ClusterBytes() - 1) }
+func (r *Ring) lineBase(addr uint32) uint32 { return addr &^ r.clusterMask }
 
 // findCluster returns the index of the loaded cluster containing addr.
+// The last-hit hint short-circuits the overwhelmingly common case of
+// consecutive steps landing in the same cluster; otherwise only loaded
+// clusters are scanned.
 func (r *Ring) findCluster(addr uint32) int {
-	base := r.lineBase(addr)
-	for i := range r.clusters {
-		if r.clusters[i].loaded && r.clusters[i].base == base {
+	base := addr &^ r.clusterMask
+	if ci := r.lastCi; ci >= 0 && r.clusters[ci].base == base && r.clusters[ci].loaded {
+		return ci
+	}
+	for _, i := range r.loaded {
+		if r.clusters[i].base == base {
+			r.lastCi = i
 			return i
 		}
 	}
@@ -215,6 +252,9 @@ func (r *Ring) loadLine(base uint32, earliest int64, avoid int) (int, int64, int
 		}
 	}
 	cl := &r.clusters[victim]
+	if !cl.loaded {
+		r.loaded = append(r.loaded, victim)
+	}
 	// The victim must be free (all instructions complete) before reload.
 	start := earliest
 	if cl.busyTo > start {
@@ -268,6 +308,7 @@ func (r *Ring) Run() error { return r.RunContext(context.Background()) }
 func (r *Ring) RunContext(ctx context.Context) error {
 	cfg := r.cfg
 	done := ctx.Done()
+	var ex iss.Exec // reused per-step scratch; StepInto overwrites it fully
 	r.ensure(r.cpu.PC, 0)
 	for steps := uint64(0); !r.cpu.Halted && r.stats.Retired < cfg.MaxInstructions; steps++ {
 		if steps&(ctxPollInterval-1) == 0 {
@@ -306,7 +347,7 @@ func (r *Ring) RunContext(ctx context.Context) error {
 		cl.lastUse = r.now
 		pos := r.windowPos(ci, pc)
 
-		ex := r.cpu.Step()
+		r.cpu.StepInto(&ex)
 		if r.cpu.Err != nil {
 			return fmt.Errorf("diag: %w", r.cpu.Err)
 		}

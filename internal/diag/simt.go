@@ -157,7 +157,8 @@ func (r *Ring) runSIMT(ex iss.Exec) bool {
 		done := false
 		looped := false
 		for {
-			e := r.cpu.Step()
+			var e iss.Exec
+			r.cpu.StepInto(&e)
 			if r.cpu.Halted {
 				done = true
 				break

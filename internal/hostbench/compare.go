@@ -1,0 +1,81 @@
+package hostbench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Delta is one case's change between two reports, judged on the
+// headline sim-MIPS metric.
+type Delta struct {
+	Name      string
+	Old, New  float64 // sim-MIPS
+	Ratio     float64 // New/Old
+	Regressed bool    // Ratio below 1-threshold
+}
+
+// Compare pairs the cases present in both reports and flags regressions
+// beyond threshold (0.2 = warn when a case loses more than 20% of its
+// baseline sim-MIPS). It never fails the caller: the CI gate is
+// warn-only, because shared runners make throughput noisy and the
+// committed baseline may come from different hardware.
+func Compare(old, new *Report, threshold float64) []Delta {
+	byName := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		byName[r.Name] = r
+	}
+	var out []Delta
+	for _, n := range new.Results {
+		o, ok := byName[n.Name]
+		if !ok || o.SimMIPS <= 0 {
+			continue
+		}
+		ratio := n.SimMIPS / o.SimMIPS
+		out = append(out, Delta{
+			Name:      n.Name,
+			Old:       o.SimMIPS,
+			New:       n.SimMIPS,
+			Ratio:     ratio,
+			Regressed: ratio < 1-threshold,
+		})
+	}
+	return out
+}
+
+// WriteDeltas prints a comparison table, marking regressions with WARN.
+// It returns the number of regressed cases.
+func WriteDeltas(w io.Writer, deltas []Delta) int {
+	warned := 0
+	fmt.Fprintf(w, "%-16s %12s %12s %8s\n", "case", "old sim-MIPS", "new sim-MIPS", "ratio")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  WARN: regression"
+			warned++
+		}
+		fmt.Fprintf(w, "%-16s %12.2f %12.2f %7.2fx%s\n", d.Name, d.Old, d.New, d.Ratio, mark)
+	}
+	return warned
+}
+
+// WriteBenchFormat renders a report in the standard Go benchmark text
+// format so benchstat can diff two BENCH_host.json files:
+//
+//	benchstat <(diag-bench -hostbench-convert old.json) \
+//	          <(diag-bench -hostbench-convert new.json)
+//
+// Names match the BenchmarkHost sub-benchmarks, so a converted JSON
+// baseline also diffs directly against fresh `go test -bench` output.
+func (r *Report) WriteBenchFormat(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "goos: %s\ngoarch: %s\npkg: diag/internal/hostbench\n", r.GOOS, r.GOARCH); err != nil {
+		return err
+	}
+	for _, res := range r.Results {
+		_, err := fmt.Fprintf(w, "BenchmarkHost/%s-%d %d %.2f ns/op %.2f sim-MIPS %d allocs/op\n",
+			res.Name, r.NumCPU, res.N, res.NsPerOp, res.SimMIPS, res.AllocsPerOp)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

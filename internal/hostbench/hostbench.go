@@ -1,0 +1,279 @@
+// Package hostbench measures host-side simulator throughput: how many
+// simulated instructions per host second (sim-MIPS) each machine model
+// sustains. The paper's methodology (§7.1) leans on fast abstract
+// simulation to sweep configurations, and PRs 1–2 multiply every
+// step-loop nanosecond by millions of Monte Carlo trials, so the
+// simulator's own speed is a tracked artifact: `make bench-host` emits
+// BENCH_host.json and CI compares each PR against the committed
+// baseline.
+//
+// The same cases run two ways: as `go test -bench=BenchmarkHost`
+// sub-benchmarks (hostbench_test.go) for ad-hoc benchstat work, and via
+// Measure from cmd/diag-bench for the JSON artifact. Step cases use b.N
+// as the simulated-instruction budget, so ns/op is nanoseconds per
+// simulated instruction and allocs/op is allocations per step — the
+// steady-state loops must report zero.
+package hostbench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"diag"
+	"diag/internal/iss"
+	"diag/internal/mem"
+	"diag/internal/workloads"
+)
+
+// SchemaV1 identifies the BENCH_host.json format.
+const SchemaV1 = "diag-hostbench/v1"
+
+// Case is one named throughput measurement, runnable both as a testing
+// sub-benchmark and through Measure.
+type Case struct {
+	Name  string // model/kernel, e.g. "iss/step" or "diag/hotspot"
+	Bench func(b *testing.B)
+}
+
+// e2eKernels are the workloads the end-to-end cases run: one
+// memory-bound Rodinia kernel and two SPEC kernels with branchy integer
+// control flow — together they exercise the fetch, memory, and control
+// paths of every model.
+var e2eKernels = []string{"hotspot", "x264", "mcf"}
+
+// Cases returns every registered measurement.
+func Cases() []Case {
+	cs := []Case{
+		{Name: "iss/step", Bench: benchISSStep},
+		{Name: "diag/step", Bench: benchDiAGStep},
+		{Name: "ooo/step", Bench: benchOoOStep},
+	}
+	for _, k := range e2eKernels {
+		k := k
+		cs = append(cs,
+			Case{Name: "iss/" + k, Bench: func(b *testing.B) { benchE2E(b, "iss", k) }},
+			Case{Name: "diag/" + k, Bench: func(b *testing.B) { benchE2E(b, "diag", k) }},
+			Case{Name: "ooo/" + k, Bench: func(b *testing.B) { benchE2E(b, "ooo", k) }},
+		)
+	}
+	return cs
+}
+
+// CaseByName looks a case up.
+func CaseByName(name string) (Case, bool) {
+	for _, c := range Cases() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// stepLoop is the hot-loop program of the step cases: the same
+// 5-instruction arithmetic loop the repo's figure benchmarks use, with
+// an iteration bound far beyond any instruction budget so the run is
+// always cut off by the budget, never by the program.
+func stepLoop() (*diag.Program, error) {
+	return diag.Assemble(`
+	li   t0, 0
+	li   t1, 1000000000
+loop:
+	addi t2, t0, 1
+	xor  t3, t2, t1
+	and  t4, t3, t2
+	addi t0, t0, 1
+	blt  t0, t1, loop
+	ebreak
+`)
+}
+
+// reportMIPS attaches the headline metric: simulated instructions per
+// host microsecond of timed benchmark execution.
+func reportMIPS(b *testing.B, inst uint64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(inst)/s/1e6, "sim-MIPS")
+	}
+}
+
+// benchISSStep measures the golden ISS step loop: b.N simulated
+// instructions on a machine built outside the timer, so ns/op and
+// allocs/op are per simulated instruction.
+func benchISSStep(b *testing.B) {
+	img, err := stepLoop()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := mem.New()
+	entry, err := img.Load(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu := iss.New(m, entry)
+	b.ReportAllocs()
+	b.ResetTimer()
+	retired := cpu.Run(uint64(b.N))
+	if cpu.Err != nil {
+		b.Fatal(cpu.Err)
+	}
+	if retired != uint64(b.N) {
+		b.Fatalf("retired %d of %d budgeted instructions", retired, b.N)
+	}
+	reportMIPS(b, retired)
+}
+
+// benchDiAGStep measures the DiAG ring timing model under an
+// instruction budget of b.N; hitting the budget is the expected exit.
+func benchDiAGStep(b *testing.B) {
+	img, err := stepLoop()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, _, err = diag.Run(diag.F4C16(), img, diag.WithMaxInstructions(uint64(b.N)))
+	if err != nil && !errors.Is(err, diag.ErrMaxInstructions) {
+		b.Fatal(err)
+	}
+	// The machine stops at exactly the budget, so b.N is the retired
+	// count (the error path returns zero Stats by design).
+	reportMIPS(b, uint64(b.N))
+}
+
+// benchOoOStep measures the out-of-order baseline the same way.
+func benchOoOStep(b *testing.B) {
+	img, err := stepLoop()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, _, err = diag.RunBaseline(diag.Baseline(), img, diag.WithMaxInstructions(uint64(b.N)))
+	if err != nil && !errors.Is(err, diag.ErrMaxInstructions) {
+		b.Fatal(err)
+	}
+	reportMIPS(b, uint64(b.N))
+}
+
+// benchE2E measures one model running one internal/workloads kernel to
+// completion per iteration.
+func benchE2E(b *testing.B, model, kernel string) {
+	w, ok := workloads.ByName(kernel)
+	if !ok {
+		b.Fatalf("unknown workload %q", kernel)
+	}
+	img, err := w.Build(workloads.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		switch model {
+		case "iss":
+			cpu, err := diag.Interpret(img, 1<<40)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += cpu.Instret
+		case "diag":
+			st, _, err := diag.Run(diag.F4C16(), img)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += st.Retired
+		case "ooo":
+			st, _, err := diag.RunBaseline(diag.Baseline(), img)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += st.Retired
+		default:
+			b.Fatalf("unknown model %q", model)
+		}
+	}
+	reportMIPS(b, total)
+}
+
+// Result is one case's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	SimMIPS     float64 `json:"sim_mips"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_host.json artifact.
+type Report struct {
+	Schema    string   `json:"schema"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []Result `json:"results"`
+}
+
+// Measure runs the named cases (all of them when names is empty) under
+// the standard testing benchmark driver and collects a Report. Each
+// case self-calibrates to roughly one second of wall time, exactly as
+// `go test -bench` would.
+func Measure(names []string) (*Report, error) {
+	sel := Cases()
+	if len(names) > 0 {
+		sel = sel[:0]
+		for _, n := range names {
+			c, ok := CaseByName(n)
+			if !ok {
+				return nil, fmt.Errorf("hostbench: unknown case %q", n)
+			}
+			sel = append(sel, c)
+		}
+	}
+	rep := &Report{
+		Schema:    SchemaV1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, c := range sel {
+		r := testing.Benchmark(c.Bench)
+		if r.N == 0 {
+			return nil, fmt.Errorf("hostbench: case %q failed (see benchmark log)", c.Name)
+		}
+		rep.Results = append(rep.Results, Result{
+			Name:        c.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			SimMIPS:     r.Extra["sim-MIPS"],
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return rep, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a BENCH_host.json document and validates its schema.
+func ReadReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("hostbench: parsing report: %w", err)
+	}
+	if r.Schema != SchemaV1 {
+		return nil, fmt.Errorf("hostbench: unsupported schema %q (want %q)", r.Schema, SchemaV1)
+	}
+	return &r, nil
+}

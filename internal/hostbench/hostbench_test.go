@@ -1,0 +1,103 @@
+package hostbench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// BenchmarkHost exposes every case as a sub-benchmark. CI runs this
+// with -benchtime=1x as a smoke test; locally,
+//
+//	go test -bench=BenchmarkHost -benchmem ./internal/hostbench
+//
+// gives the full throughput picture, and the step cases' allocs/op
+// column is the zero-allocation-per-step acceptance check.
+func BenchmarkHost(b *testing.B) {
+	for _, c := range Cases() {
+		b.Run(c.Name, c.Bench)
+	}
+}
+
+func TestCaseNamesUniqueAndResolvable(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, c := range Cases() {
+		if seen[c.Name] {
+			t.Fatalf("duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if _, ok := CaseByName(c.Name); !ok {
+			t.Fatalf("case %q not resolvable by name", c.Name)
+		}
+	}
+	if _, ok := CaseByName("no/such"); ok {
+		t.Fatal("CaseByName resolved a nonexistent case")
+	}
+}
+
+func sampleReport(mips float64) *Report {
+	return &Report{
+		Schema: SchemaV1, GoVersion: "go0.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 8,
+		Results: []Result{
+			{Name: "iss/step", N: 1000, NsPerOp: 12.5, SimMIPS: mips},
+			{Name: "diag/step", N: 500, NsPerOp: 50, SimMIPS: mips / 4},
+		},
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := sampleReport(80)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 2 || back.Results[0].SimMIPS != 80 || back.Schema != SchemaV1 {
+		t.Fatalf("round trip mangled report: %+v", back)
+	}
+	if _, err := ReadReport([]byte(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Fatal("ReadReport accepted an unknown schema")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old, fresh := sampleReport(100), sampleReport(70)
+	deltas := Compare(old, fresh, 0.2)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	for _, d := range deltas {
+		if !d.Regressed {
+			t.Fatalf("30%% loss on %s not flagged at ±20%%", d.Name)
+		}
+	}
+	// A 10% loss stays inside the warn-only threshold.
+	for _, d := range Compare(old, sampleReport(90), 0.2) {
+		if d.Regressed {
+			t.Fatalf("10%% loss on %s wrongly flagged at ±20%%", d.Name)
+		}
+	}
+	var buf bytes.Buffer
+	if warned := WriteDeltas(&buf, deltas); warned != 2 {
+		t.Fatalf("WriteDeltas counted %d warnings, want 2", warned)
+	}
+	if !strings.Contains(buf.String(), "WARN") {
+		t.Fatalf("table missing WARN marker:\n%s", buf.String())
+	}
+}
+
+func TestWriteBenchFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport(80).WriteBenchFormat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"goos: linux", "BenchmarkHost/iss/step-8 1000 12.50 ns/op 80.00 sim-MIPS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bench format missing %q:\n%s", want, out)
+		}
+	}
+}

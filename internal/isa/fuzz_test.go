@@ -7,10 +7,10 @@ import "testing"
 // back to the identical Inst — the encoder and decoder agree on every
 // reachable instruction, not just the ones the assembler emits.
 func FuzzDecode(f *testing.F) {
-	f.Add(uint32(0x00000013))                                           // addi x0, x0, 0
-	f.Add(uint32(0x00100073))                                           // ebreak
-	f.Add(MustEncode(Inst{Op: OpBLT, Rs1: T0, Rs2: T1, Imm: -8}))       // branch
-	f.Add(MustEncode(Inst{Op: OpFMADDS, Rd: 1, Rs1: 2, Rs2: 3, Rs3: 4}))     // R4-type
+	f.Add(uint32(0x00000013))                                            // addi x0, x0, 0
+	f.Add(uint32(0x00100073))                                            // ebreak
+	f.Add(MustEncode(Inst{Op: OpBLT, Rs1: T0, Rs2: T1, Imm: -8}))        // branch
+	f.Add(MustEncode(Inst{Op: OpFMADDS, Rd: 1, Rs1: 2, Rs2: 3, Rs3: 4})) // R4-type
 	f.Add(uint32(0xFFFFFFFF))
 	f.Fuzz(func(t *testing.T, w uint32) {
 		in, err := Decode(w)

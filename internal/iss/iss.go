@@ -32,6 +32,29 @@ type Exec struct {
 	MemAddr uint32 // effective address for loads/stores
 }
 
+// Predecode-cache geometry: a direct-mapped image of decoded
+// instructions indexed by word address. 4096 entries cover 16 KiB of
+// text with no conflicts — larger than every kernel in
+// internal/workloads — and conflicts only cost a re-decode, never
+// correctness.
+const (
+	predecodeBits = 12
+	predecodeSize = 1 << predecodeBits
+	predecodeMask = predecodeSize - 1
+)
+
+// predecoded is one predecode-cache entry. tag is the instruction's
+// word address with bit 0 set (so address 0 is representable and the
+// zero value never matches); gen is the memory's code-write generation
+// at fill time, which precisely invalidates the entry on any store
+// that may have modified instruction words — self-modifying code and
+// fault-injected text flips re-decode, everything else skips decode.
+type predecoded struct {
+	tag  uint32
+	gen  uint64
+	inst isa.Inst
+}
+
 // CPU is the architectural state of one RV32IMF hart.
 type CPU struct {
 	Mem *mem.Memory
@@ -42,6 +65,15 @@ type CPU struct {
 	Halted  bool
 	Err     error  // non-nil if halted abnormally
 	Instret uint64 // retired instruction count
+
+	// NoPredecode disables the predecode cache, forcing a full fetch +
+	// decode on every step. It exists for differential testing (the
+	// cached and uncached machines must agree on everything) and must
+	// be set before the first Step.
+	NoPredecode bool
+
+	pred    []predecoded // direct-mapped predecode cache
+	rawInst isa.Inst     // scratch decode slot for the NoPredecode path
 
 	// Hook, when non-nil, observes every retired instruction. Timing
 	// simulators embed a CPU, so setting Hook traces machine runs too.
@@ -65,7 +97,12 @@ type CPU struct {
 
 // New returns a CPU with the given memory and entry point.
 func New(m *mem.Memory, entry uint32) *CPU {
-	return &CPU{Mem: m, PC: entry, simtStep: make(map[uint32]isa.Reg)}
+	return &CPU{
+		Mem:      m,
+		PC:       entry,
+		simtStep: make(map[uint32]isa.Reg),
+		pred:     make([]predecoded, predecodeSize),
+	}
 }
 
 // Reset rewinds architectural state to the entry point, keeping memory.
@@ -94,11 +131,28 @@ func (c *CPU) fail(format string, args ...any) Exec {
 	return Exec{PC: c.PC, NextPC: c.PC}
 }
 
+// failInto is fail for the out-parameter exec path: it halts the CPU
+// and overwrites *ex with the abnormal-halt record.
+func (c *CPU) failInto(ex *Exec, format string, args ...any) {
+	*ex = c.fail(format, args...)
+}
+
 // Step executes one instruction and returns its Exec record. Calling Step
 // on a halted CPU is a no-op.
 func (c *CPU) Step() Exec {
+	var ex Exec
+	c.StepInto(&ex)
+	return ex
+}
+
+// StepInto is Step writing the record into caller-owned scratch instead
+// of returning it by value: the timing simulators call it millions of
+// times per run, and the out-parameter form eliminates two 32-byte
+// struct copies per retired instruction.
+func (c *CPU) StepInto(ex *Exec) {
 	if c.Halted {
-		return Exec{PC: c.PC, NextPC: c.PC}
+		*ex = Exec{PC: c.PC, NextPC: c.PC}
+		return
 	}
 	if c.InterruptAt != 0 && !c.Trapped && c.Instret >= c.InterruptAt {
 		// Precise interrupt: taken at an instruction boundary (§5.1.4).
@@ -106,38 +160,80 @@ func (c *CPU) Step() Exec {
 		c.PC = c.InterruptVector
 		c.Trapped = true
 	}
-	if c.PC&3 != 0 {
-		return c.fail("iss: misaligned PC 0x%x", c.PC)
+	c.step(ex)
+}
+
+// fetch returns the decoded instruction at PC, consulting the predecode
+// cache first: a hit skips both the memory walk and the decoder, and
+// the generation tag guarantees the cached decode still matches the
+// word in memory. The returned pointer aliases the cache entry (or the
+// uncached scratch slot) and is only valid until the next fetch; exec
+// copies what it keeps.
+func (c *CPU) fetch() (*isa.Inst, error) {
+	e := &c.pred[(c.PC>>2)&predecodeMask]
+	gen := c.Mem.CodeGen()
+	if !c.NoPredecode && e.tag == c.PC|1 && e.gen == gen {
+		return &e.inst, nil
 	}
-	word := c.Mem.LoadWord(c.PC)
-	in, err := isa.Decode(word)
+	in, err := isa.Decode(c.Mem.LoadWord(c.PC))
 	if err != nil {
-		return c.fail("iss: at PC 0x%x: %v", c.PC, err)
+		return nil, err
 	}
-	ex := c.exec(in)
+	if c.NoPredecode {
+		c.rawInst = in
+		return &c.rawInst, nil
+	}
+	*e = predecoded{tag: c.PC | 1, gen: gen, inst: in}
+	return &e.inst, nil
+}
+
+// step is the interrupt-free core of StepInto; callers guarantee the CPU
+// is not halted and any pending interrupt has been considered.
+func (c *CPU) step(ex *Exec) {
+	if c.PC&3 != 0 {
+		c.failInto(ex, "iss: misaligned PC 0x%x", c.PC)
+		return
+	}
+	in, err := c.fetch()
+	if err != nil {
+		c.failInto(ex, "iss: at PC 0x%x: %v", c.PC, err)
+		return
+	}
+	c.exec(in, ex)
 	c.X[0] = 0
 	if !c.Halted {
 		c.Instret++
 		c.PC = ex.NextPC
 		if c.Hook != nil {
-			c.Hook(ex)
+			c.Hook(*ex)
 		}
 	}
-	return ex
 }
 
 // Run executes until the CPU halts or maxInst instructions retire.
 // It returns the number of instructions retired by this call.
+//
+// The interrupt guard is hoisted out of the common path: once no
+// interrupt can fire any more (none configured, or the one-shot trap
+// already delivered), the loop steps without consulting the interrupt
+// state at all.
 func (c *CPU) Run(maxInst uint64) uint64 {
 	start := c.Instret
+	var ex Exec
 	for !c.Halted && c.Instret-start < maxInst {
-		c.Step()
+		if c.InterruptAt != 0 && !c.Trapped {
+			c.StepInto(&ex)
+			continue
+		}
+		for !c.Halted && c.Instret-start < maxInst {
+			c.step(&ex)
+		}
 	}
 	return c.Instret - start
 }
 
-func (c *CPU) exec(in isa.Inst) Exec {
-	ex := Exec{PC: c.PC, Inst: in, NextPC: c.PC + 4}
+func (c *CPU) exec(in *isa.Inst, ex *Exec) {
+	*ex = Exec{PC: c.PC, Inst: *in, NextPC: c.PC + 4}
 	rs1 := c.X[in.Rs1]
 	rs2 := c.X[in.Rs2]
 
@@ -171,25 +267,29 @@ func (c *CPU) exec(in isa.Inst) Exec {
 	case isa.OpLH:
 		ex.MemAddr = rs1 + uint32(in.Imm)
 		if ex.MemAddr&1 != 0 {
-			return c.fail("iss: misaligned lh at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			c.failInto(ex, "iss: misaligned lh at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			return
 		}
 		c.X[in.Rd] = uint32(int32(int16(c.Mem.LoadHalf(ex.MemAddr))))
 	case isa.OpLHU:
 		ex.MemAddr = rs1 + uint32(in.Imm)
 		if ex.MemAddr&1 != 0 {
-			return c.fail("iss: misaligned lhu at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			c.failInto(ex, "iss: misaligned lhu at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			return
 		}
 		c.X[in.Rd] = uint32(c.Mem.LoadHalf(ex.MemAddr))
 	case isa.OpLW:
 		ex.MemAddr = rs1 + uint32(in.Imm)
 		if ex.MemAddr&3 != 0 {
-			return c.fail("iss: misaligned lw at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			c.failInto(ex, "iss: misaligned lw at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			return
 		}
 		c.X[in.Rd] = c.Mem.LoadWord(ex.MemAddr)
 	case isa.OpFLW:
 		ex.MemAddr = rs1 + uint32(in.Imm)
 		if ex.MemAddr&3 != 0 {
-			return c.fail("iss: misaligned flw at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			c.failInto(ex, "iss: misaligned flw at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			return
 		}
 		c.F[in.Rd] = c.Mem.LoadWord(ex.MemAddr)
 
@@ -199,19 +299,22 @@ func (c *CPU) exec(in isa.Inst) Exec {
 	case isa.OpSH:
 		ex.MemAddr = rs1 + uint32(in.Imm)
 		if ex.MemAddr&1 != 0 {
-			return c.fail("iss: misaligned sh at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			c.failInto(ex, "iss: misaligned sh at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			return
 		}
 		c.Mem.StoreHalf(ex.MemAddr, uint16(rs2))
 	case isa.OpSW:
 		ex.MemAddr = rs1 + uint32(in.Imm)
 		if ex.MemAddr&3 != 0 {
-			return c.fail("iss: misaligned sw at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			c.failInto(ex, "iss: misaligned sw at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			return
 		}
 		c.Mem.StoreWord(ex.MemAddr, rs2)
 	case isa.OpFSW:
 		ex.MemAddr = rs1 + uint32(in.Imm)
 		if ex.MemAddr&3 != 0 {
-			return c.fail("iss: misaligned fsw at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			c.failInto(ex, "iss: misaligned fsw at 0x%x (PC 0x%x)", ex.MemAddr, c.PC)
+			return
 		}
 		c.Mem.StoreWord(ex.MemAddr, c.F[in.Rs2])
 
@@ -258,7 +361,8 @@ func (c *CPU) exec(in isa.Inst) Exec {
 	case isa.OpFENCE:
 		// Single-hart memory model: fence is a no-op.
 	case isa.OpECALL:
-		return c.fail("iss: ecall at PC 0x%x: system calls unsupported (paper §6)", c.PC)
+		c.failInto(ex, "iss: ecall at PC 0x%x: system calls unsupported (paper §6)", c.PC)
+		return
 	case isa.OpEBREAK:
 		c.Halted = true
 		ex.NextPC = c.PC
@@ -355,7 +459,8 @@ func (c *CPU) exec(in isa.Inst) Exec {
 			// the region): decode the opener directly.
 			op, err := isa.Decode(c.Mem.LoadWord(sPC))
 			if err != nil || op.Op != isa.OpSIMTS {
-				return c.fail("iss: simt.e at 0x%x: no matching simt.s at 0x%x", c.PC, sPC)
+				c.failInto(ex, "iss: simt.e at 0x%x: no matching simt.s at 0x%x", c.PC, sPC)
+				return
 			}
 			stepReg = op.Rs1
 			c.simtStep[sPC] = stepReg
@@ -368,9 +473,9 @@ func (c *CPU) exec(in isa.Inst) Exec {
 		}
 
 	default:
-		return c.fail("iss: unimplemented op %v at PC 0x%x", in.Op, c.PC)
+		c.failInto(ex, "iss: unimplemented op %v at PC 0x%x", in.Op, c.PC)
+		return
 	}
-	return ex
 }
 
 // branchTaken evaluates a conditional branch; shared with the timing

@@ -1,0 +1,66 @@
+package mem
+
+import "testing"
+
+// The code-generation counter backs the ISS predecode cache: it must
+// bump on every store that can alter marked text, stay put for pure
+// data traffic, and conservatively bump on everything when no range
+// has been marked.
+
+func TestCodeGenBumpsOnlyOnCodeWrites(t *testing.T) {
+	m := New()
+	m.MarkCode(0x1000, 64) // text = [0x1000, 0x1040)
+
+	g := m.CodeGen()
+	m.StoreWord(0x2000, 1) // data store: no bump
+	m.StoreByte(0x0fff, 1) // one byte below text: no bump
+	if m.CodeGen() != g {
+		t.Fatalf("data stores bumped CodeGen: %d -> %d", g, m.CodeGen())
+	}
+
+	m.StoreWord(0x1000, 0x13) // first text word
+	if m.CodeGen() == g {
+		t.Fatal("store to text start did not bump CodeGen")
+	}
+	g = m.CodeGen()
+	m.StoreByte(0x103f, 7) // last text byte
+	if m.CodeGen() == g {
+		t.Fatal("store to last text byte did not bump CodeGen")
+	}
+	g = m.CodeGen()
+	m.StoreWord(0x1040, 9) // one word past text: no bump
+	if m.CodeGen() != g {
+		t.Fatal("store past text end bumped CodeGen")
+	}
+}
+
+func TestCodeGenUnmarkedMemoryIsConservative(t *testing.T) {
+	m := New()
+	g := m.CodeGen()
+	m.StoreWord(0x9000, 1)
+	if m.CodeGen() == g {
+		t.Fatal("with no marked range, every store must bump CodeGen")
+	}
+}
+
+func TestMarkCodeUnionAndClone(t *testing.T) {
+	m := New()
+	m.MarkCode(0x1000, 16)
+	m.MarkCode(0x3000, 16) // watched range grows to the union
+
+	g := m.CodeGen()
+	m.StoreWord(0x2000, 1) // between the two marks: inside the union
+	if m.CodeGen() == g {
+		t.Fatal("store inside the union of marked ranges did not bump CodeGen")
+	}
+
+	c := m.Clone()
+	if c.CodeGen() != m.CodeGen() {
+		t.Fatalf("Clone dropped CodeGen: %d vs %d", c.CodeGen(), m.CodeGen())
+	}
+	g = c.CodeGen()
+	c.StoreWord(0x1004, 1)
+	if c.CodeGen() == g {
+		t.Fatal("Clone dropped the marked code range")
+	}
+}

@@ -26,6 +26,17 @@ const (
 // ready to use.
 type Memory struct {
 	pages map[uint32]*[PageSize]byte
+
+	// Code-write tracking for the predecode caches (internal/iss). The
+	// watched range is the union of every MarkCode call; codeGen
+	// increments whenever a store may have modified an instruction word,
+	// so a cached decode is valid exactly while the generation it was
+	// filled at still matches. With no range registered every store
+	// bumps the generation — conservative but always correct, so
+	// memories assembled by hand (tests, scratch interpreters) never
+	// need to know the cache exists.
+	codeLo, codeHi uint32 // watched range [codeLo, codeHi); codeHi == 0 = none
+	codeGen        uint64
 }
 
 // New returns an empty memory.
@@ -49,6 +60,44 @@ func (m *Memory) page(addr uint32, alloc bool) *[PageSize]byte {
 	return p
 }
 
+// MarkCode registers [addr, addr+size) as holding instruction words.
+// Stores outside every marked range no longer invalidate predecoded
+// instructions; ranges accumulate as a union so a second loaded image
+// can never unwatch the first one's text.
+func (m *Memory) MarkCode(addr, size uint32) {
+	if size == 0 {
+		return
+	}
+	hi := addr + size
+	if hi < addr {
+		hi = ^uint32(0) // clamp a range wrapping past the top of the space
+	}
+	if m.codeHi == 0 {
+		m.codeLo, m.codeHi = addr, hi
+	} else {
+		if addr < m.codeLo {
+			m.codeLo = addr
+		}
+		if hi > m.codeHi {
+			m.codeHi = hi
+		}
+	}
+	m.codeGen++
+}
+
+// CodeGen returns the current code-write generation. A predecoded
+// instruction filled at generation g is valid while CodeGen still
+// returns g; any store that may have touched code advances it.
+func (m *Memory) CodeGen() uint64 { return m.codeGen }
+
+// noteStore records a store of n bytes at addr, advancing the code
+// generation when the store may overlap instruction words.
+func (m *Memory) noteStore(addr, n uint32) {
+	if m.codeHi == 0 || (addr < m.codeHi && uint64(addr)+uint64(n) > uint64(m.codeLo)) {
+		m.codeGen++
+	}
+}
+
 // LoadByte returns the byte at addr (0 if never written).
 func (m *Memory) LoadByte(addr uint32) byte {
 	p := m.page(addr, false)
@@ -60,6 +109,7 @@ func (m *Memory) LoadByte(addr uint32) byte {
 
 // StoreByte stores one byte at addr.
 func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.noteStore(addr, 1)
 	m.page(addr, true)[addr&pageMask] = v
 }
 
@@ -84,6 +134,7 @@ func (m *Memory) LoadWord(addr uint32) uint32 {
 // StoreWord stores a little-endian 32-bit word at addr.
 func (m *Memory) StoreWord(addr uint32, v uint32) {
 	if addr&3 == 0 && addr&pageMask <= PageSize-4 {
+		m.noteStore(addr, 4)
 		p := m.page(addr, true)
 		off := addr & pageMask
 		binary.LittleEndian.PutUint32(p[off:off+4], v)
@@ -193,6 +244,7 @@ func (m *Memory) Digest() uint64 {
 // identical initial memory image.
 func (m *Memory) Clone() *Memory {
 	c := New()
+	c.codeLo, c.codeHi, c.codeGen = m.codeLo, m.codeHi, m.codeGen
 	for idx, p := range m.pages {
 		np := new([PageSize]byte)
 		*np = *p
@@ -222,11 +274,15 @@ func (img *Image) TextEnd() uint32 {
 	return img.TextAddr + uint32(len(img.Text))*4
 }
 
-// Load writes the image into m and returns the entry PC.
+// Load writes the image into m and returns the entry PC. The text
+// section is registered with MarkCode, so data stores never invalidate
+// the machines' predecode caches while stores into text (self-modifying
+// code, fault injection) always do.
 func (img *Image) Load(m *Memory) (uint32, error) {
 	if img.TextAddr&3 != 0 {
 		return 0, fmt.Errorf("mem: text base 0x%x not word-aligned", img.TextAddr)
 	}
+	m.MarkCode(img.TextAddr, uint32(len(img.Text))*4)
 	for i, w := range img.Text {
 		m.StoreWord(img.TextAddr+uint32(i)*4, w)
 	}

@@ -163,7 +163,9 @@ type Core struct {
 	issueHead   int
 	lsqTimes    []int64 // ring of the last LSQSize retire times of mem ops
 	lsqHead     int
-	storeWindow []lsqEntry
+	storeWindow []lsqEntry // fixed ring of the last LSQSize stores
+	storeHead   int        // next write slot
+	storeLen    int        // valid entries, ≤ LSQSize
 
 	fetchCycle  int64 // cycle the next fetch group begins
 	fetchInGrp  int   // instructions fetched in the current group
@@ -177,18 +179,19 @@ type Core struct {
 // newCore builds one core above the shared port.
 func newCore(cfg Config, m *mem.Memory, entry uint32, shared cache.Port) *Core {
 	c := &Core{
-		cfg:        cfg,
-		cpu:        iss.New(m, entry),
-		pred:       branch.NewTournament(cfg.PredictorBits),
-		btb:        branch.NewBTB(cfg.BTBBits),
-		ras:        branch.NewRAS(cfg.RASDepth),
-		alu:        newFUPool(cfg.IntALUs, true),
-		muldiv:     newFUPool(cfg.IntMulDiv, false),
-		fp:         newFUPool(cfg.FPUnits, true),
-		mp:         newFUPool(cfg.MemPorts, true),
-		retireAt:   make([]int64, cfg.ROBSize),
-		issueTimes: make([]int64, cfg.IQSize),
-		lsqTimes:   make([]int64, cfg.LSQSize),
+		cfg:         cfg,
+		cpu:         iss.New(m, entry),
+		pred:        branch.NewTournament(cfg.PredictorBits),
+		btb:         branch.NewBTB(cfg.BTBBits),
+		ras:         branch.NewRAS(cfg.RASDepth),
+		alu:         newFUPool(cfg.IntALUs, true),
+		muldiv:      newFUPool(cfg.IntMulDiv, false),
+		fp:          newFUPool(cfg.FPUnits, true),
+		mp:          newFUPool(cfg.MemPorts, true),
+		retireAt:    make([]int64, cfg.ROBSize),
+		issueTimes:  make([]int64, cfg.IQSize),
+		lsqTimes:    make([]int64, cfg.LSQSize),
+		storeWindow: make([]lsqEntry, cfg.LSQSize),
 	}
 	c.icache = cache.New(cache.Config{
 		Name: "L1I", Size: cfg.L1ISize, LineSize: 64, Assoc: 4, Latency: 1,
@@ -240,6 +243,7 @@ func (c *Core) Run() error { return c.RunContext(context.Background()) }
 func (c *Core) RunContext(ctx context.Context) error {
 	cfg := c.cfg
 	done := ctx.Done()
+	var ex iss.Exec // reused per-step scratch; StepInto overwrites it fully
 	for steps := uint64(0); !c.cpu.Halted && c.stats.Retired < cfg.MaxInstructions; steps++ {
 		if steps&(ctxPollInterval-1) == 0 {
 			select {
@@ -261,7 +265,7 @@ func (c *Core) RunContext(ctx context.Context) error {
 			c.PreStep(c.now)
 		}
 		pc := c.cpu.PC
-		ex := c.cpu.Step()
+		c.cpu.StepInto(&ex)
 		if c.cpu.Err != nil {
 			return fmt.Errorf("ooo: %w", c.cpu.Err)
 		}
@@ -483,20 +487,26 @@ func (c *Core) fetchBubble(t int64) {
 	}
 }
 
-// pushStore records an in-flight store for forwarding.
+// pushStore records an in-flight store for forwarding. The window is a
+// fixed ring sized LSQSize: the newest store overwrites the oldest, so
+// steady-state execution never reslices or reallocates.
 func (c *Core) pushStore(addr uint32, ready int64) {
-	if len(c.storeWindow) >= c.cfg.LSQSize {
-		c.storeWindow = c.storeWindow[1:]
+	c.storeWindow[c.storeHead] = lsqEntry{addr: addr &^ 3, size: 4, ready: ready}
+	c.storeHead = (c.storeHead + 1) % len(c.storeWindow)
+	if c.storeLen < len(c.storeWindow) {
+		c.storeLen++
 	}
-	c.storeWindow = append(c.storeWindow, lsqEntry{addr: addr &^ 3, size: 4, ready: ready})
 }
 
-// forward searches the LSQ for a completed store to the same word.
+// forward searches the LSQ for a completed store to the same word,
+// newest first (the youngest matching store forwards, as in hardware).
 func (c *Core) forward(addr uint32) (int64, bool) {
 	a := addr &^ 3
-	for i := len(c.storeWindow) - 1; i >= 0; i-- {
-		if c.storeWindow[i].addr == a {
-			return c.storeWindow[i].ready, true
+	n := len(c.storeWindow)
+	for k := 1; k <= c.storeLen; k++ {
+		e := &c.storeWindow[(c.storeHead-k+n)%n]
+		if e.addr == a {
+			return e.ready, true
 		}
 	}
 	return 0, false
