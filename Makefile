@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke
+.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke difftest-smoke
 
 all: build vet test
 
@@ -32,6 +32,13 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/isa/
 	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) ./internal/asm/
 	$(GO) test -run=NONE -fuzz=FuzzMemoryOps -fuzztime=$(FUZZTIME) ./internal/mem/
+
+# Differential conformance smoke: random programs across the full
+# architecture matrix (ISS / DiAG ring configs / OoO). Exit 1 on any
+# divergence. Nightly CI runs the same command with a larger -n.
+DIFFTEST_N ?= 200
+difftest-smoke:
+	$(GO) run ./cmd/diag-difftest -seed 1 -n $(DIFFTEST_N)
 
 # Full benchmark run: every paper figure/table plus ablations.
 bench:

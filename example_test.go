@@ -1,0 +1,100 @@
+package diag_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"diag"
+)
+
+// ExampleRun assembles a small counting loop and executes it on a
+// paper-configuration DiAG machine. Retired-instruction counts are
+// architectural, so the output is stable across timing-model changes.
+func ExampleRun() {
+	img, err := diag.Assemble(`
+	    li   t0, 0
+	    li   t1, 100
+	loop:
+	    addi t0, t0, 1
+	    blt  t0, t1, loop
+	    ebreak
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, _, err := diag.Run(diag.F4C2(), img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("retired:", st.Retired)
+	// Output:
+	// retired: 202
+}
+
+// ExampleSweep fans independent simulations — the same program on a
+// DiAG machine and on the out-of-order baseline — across a worker
+// pool. Results come back in job order regardless of which finishes
+// first.
+func ExampleSweep() {
+	img, err := diag.Assemble(`
+	    li   a0, 10
+	    li   a1, 0
+	loop:
+	    add  a1, a1, a0
+	    addi a0, a0, -1
+	    bnez a0, loop
+	    ebreak
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := diag.Sweep(context.Background(), []diag.SweepJob{
+		diag.SimJob("sum/F4C2", diag.F4C2(), img),
+		diag.BaselineJob("sum/ooo", diag.Baseline(), img),
+	}, diag.SweepOptions{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		switch st := r.Value.(type) {
+		case diag.Stats:
+			fmt.Printf("%s retired %d\n", r.Name, st.Retired)
+		case diag.BaselineStats:
+			fmt.Printf("%s retired %d\n", r.Name, st.Retired)
+		}
+	}
+	// Output:
+	// sum/F4C2 retired 32
+	// sum/ooo retired 32
+}
+
+// ExampleFaultCampaign injects seed-derived single-bit faults into a
+// DiAG machine and classifies every run against the golden ISS. A
+// fixed seed replays the identical campaign at any worker count.
+func ExampleFaultCampaign() {
+	img, err := diag.Assemble(`
+	    li   t0, 0
+	    li   t1, 50
+	loop:
+	    addi t0, t0, 1
+	    blt  t0, t1, loop
+	    ebreak
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := diag.FaultCampaign(context.Background(), diag.F4C2(), img,
+		diag.WithFaultTrials(20),
+		diag.WithFaultSeed(42),
+		diag.WithFaultWorkers(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trials:", len(rep.Trials))
+	fmt.Println("golden instret:", rep.GoldenInstret)
+	// Output:
+	// trials: 20
+	// golden instret: 102
+}

@@ -1,0 +1,109 @@
+package diagerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestSentinelMessages pins the exact sentinel text: diagnostics and
+// log-scraping tools key off these strings, so changing one is an API
+// break and must show up as a failing test.
+func TestSentinelMessages(t *testing.T) {
+	want := map[error]string{
+		ErrTimeout:         "simulation timed out",
+		ErrMaxCycles:       "cycle budget exceeded",
+		ErrMaxInstructions: "instruction budget exceeded",
+		ErrBadProgram:      "bad program",
+		ErrStalled:         "no architectural progress",
+	}
+	for sentinel, msg := range want {
+		if got := sentinel.Error(); got != msg {
+			t.Errorf("sentinel message = %q, want %q", got, msg)
+		}
+	}
+	if len(want) != 5 {
+		t.Fatalf("taxonomy has %d sentinels under test, want 5", len(want))
+	}
+}
+
+// TestWrapMatchesSentinel: Wrap must produce the formatted message and
+// match its sentinel — and only its sentinel — under errors.Is.
+func TestWrapMatchesSentinel(t *testing.T) {
+	sentinels := []error{ErrTimeout, ErrMaxCycles, ErrMaxInstructions, ErrBadProgram, ErrStalled}
+	for _, s := range sentinels {
+		err := Wrap(s, "iss: misaligned lw at 0x%x (PC 0x%x)", 0x104, 0x40)
+		if got, want := err.Error(), "iss: misaligned lw at 0x104 (PC 0x40)"; got != want {
+			t.Errorf("Wrap(%v) message = %q, want %q", s, got, want)
+		}
+		for _, other := range sentinels {
+			if is := errors.Is(err, other); is != (other == s) {
+				t.Errorf("errors.Is(Wrap(%v), %v) = %v", s, other, is)
+			}
+		}
+	}
+}
+
+// TestWrapThroughFmtChain: a taggedError must keep matching its
+// sentinel through further %w wrapping, the shape API callers see.
+func TestWrapThroughFmtChain(t *testing.T) {
+	inner := Wrap(ErrBadProgram, "undecodable word 0xffffffff")
+	outer := fmt.Errorf("machine 2: ring 1: %w", inner)
+	if !errors.Is(outer, ErrBadProgram) {
+		t.Error("sentinel lost through fmt.Errorf %w chain")
+	}
+	var tagged *taggedError
+	if !errors.As(outer, &tagged) {
+		t.Fatal("errors.As failed to recover the taggedError")
+	}
+	if tagged.Error() != "undecodable word 0xffffffff" {
+		t.Errorf("recovered message = %q", tagged.Error())
+	}
+}
+
+// TestTimeout: Timeout must match ErrTimeout and, when given a cause,
+// that cause too.
+func TestTimeout(t *testing.T) {
+	plain := Timeout(nil, "job %q timed out", "fft/F4C2")
+	if !errors.Is(plain, ErrTimeout) {
+		t.Error("Timeout(nil) does not match ErrTimeout")
+	}
+	if errors.Is(plain, context.DeadlineExceeded) {
+		t.Error("Timeout(nil) spuriously matches DeadlineExceeded")
+	}
+	if got, want := plain.Error(), `job "fft/F4C2" timed out`; got != want {
+		t.Errorf("message = %q, want %q", got, want)
+	}
+
+	caused := Timeout(context.DeadlineExceeded, "deadline hit")
+	if !errors.Is(caused, ErrTimeout) || !errors.Is(caused, context.DeadlineExceeded) {
+		t.Error("Timeout(cause) must match both ErrTimeout and the cause")
+	}
+}
+
+// TestFromContext covers the three mapping cases: deadline expiry is
+// promoted into the taxonomy, cancellation passes through, and an
+// already-tagged timeout is not double-wrapped.
+func TestFromContext(t *testing.T) {
+	if err := FromContext(context.Canceled); err != context.Canceled {
+		t.Errorf("FromContext(Canceled) = %v, want pass-through", err)
+	}
+
+	mapped := FromContext(context.DeadlineExceeded)
+	if !errors.Is(mapped, ErrTimeout) {
+		t.Error("FromContext(DeadlineExceeded) does not match ErrTimeout")
+	}
+	if !errors.Is(mapped, context.DeadlineExceeded) {
+		t.Error("FromContext must preserve the DeadlineExceeded match")
+	}
+
+	already := Timeout(context.DeadlineExceeded, "already tagged")
+	if got := FromContext(already); got != already {
+		t.Errorf("FromContext re-wrapped an already-tagged timeout: %v", got)
+	}
+
+	if err := FromContext(nil); err != nil {
+		t.Errorf("FromContext(nil) = %v, want nil", err)
+	}
+}

@@ -1,0 +1,196 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"diag/internal/exp"
+)
+
+// seedStride separates per-trial RNG streams (the 32-bit golden ratio,
+// the same stream-splitting convention internal/fault uses).
+const seedStride = 0x9E3779B9
+
+// TrialSeed returns the generator seed of trial i in a campaign seeded
+// with base — exported so a single trial can be replayed in isolation.
+func TrialSeed(base int64, i int) int64 { return base + int64(i)*seedStride }
+
+// Options configure a conformance campaign.
+type Options struct {
+	Seed   int64  // base seed; every trial derives from it
+	Trials int    // number of generated programs (default 100)
+	Archs  string // comma-separated matrix columns ("" or "all" = every column)
+
+	Gen GenOptions
+
+	Shrink  bool // minimize each divergent program
+	Workers int  // parallel trial runners (<=0: GOMAXPROCS)
+}
+
+// TrialReport is the outcome of one generated program.
+type TrialReport struct {
+	Trial int
+	Seed  int64
+	// ScratchSeed regenerates the scratch-window contents via
+	// ScratchFromSeed; emitted corpus entries store it instead of the
+	// 2 KiB of bytes.
+	ScratchSeed int64
+	Instret     uint64 // golden retired-instruction count
+	// GoldenErr is set when the golden run itself failed — a generator
+	// bug, counted separately from divergences.
+	GoldenErr string
+
+	Divergences []Divergence
+	// Min is the delta-debugged minimal reproducer (nil when the trial
+	// agreed or shrinking was disabled).
+	Min *Prog
+	// MinDivergences are the divergences the minimal program exhibits.
+	MinDivergences []Divergence
+}
+
+// Report aggregates a campaign. Everything in it is a pure function of
+// (Seed, Trials, Archs, Gen), never of worker count or wall-clock.
+type Report struct {
+	Seed   int64
+	Trials int
+	Archs  []string
+
+	TotalInstret uint64 // golden instructions executed across all trials
+	Diverged     []TrialReport
+	GeneratorErr []TrialReport // trials whose golden run failed
+}
+
+// Run executes the campaign: Trials independent generate→run→compare
+// (→shrink) jobs fanned across internal/exp. Results are folded in
+// trial order, so the report is byte-identical at any worker count.
+func Run(ctx context.Context, opt Options) (*Report, error) {
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = 100
+	}
+	archs, err := SelectArchs(opt.Archs)
+	if err != nil {
+		return nil, err
+	}
+
+	jobs := make([]exp.Job, trials)
+	for i := range jobs {
+		jobs[i] = exp.Job{
+			Name: fmt.Sprintf("trial-%d", i),
+			Run: func(ctx context.Context) (any, error) {
+				return runTrial(ctx, archs, TrialSeed(opt.Seed, i), i, opt)
+			},
+		}
+	}
+	results, err := exp.Run(ctx, jobs, exp.Options{Workers: opt.Workers})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Seed: opt.Seed, Trials: trials}
+	for _, a := range archs {
+		rep.Archs = append(rep.Archs, a.Name)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			// exp-level failure (a panicking model): report it as a
+			// divergence of kind "panic" so it is never silently lost.
+			rep.Diverged = append(rep.Diverged, TrialReport{
+				Trial: r.Index, Seed: TrialSeed(opt.Seed, r.Index),
+				Divergences: []Divergence{{Arch: "?", Kind: "panic", Detail: r.Err.Error()}},
+			})
+			continue
+		}
+		tr := r.Value.(TrialReport)
+		rep.TotalInstret += tr.Instret
+		switch {
+		case tr.GoldenErr != "":
+			rep.GeneratorErr = append(rep.GeneratorErr, tr)
+		case len(tr.Divergences) > 0:
+			rep.Diverged = append(rep.Diverged, tr)
+		}
+	}
+	return rep, nil
+}
+
+// runTrial generates, runs, and (if divergent) minimizes one program.
+func runTrial(ctx context.Context, archs []Arch, seed int64, idx int, opt Options) (TrialReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	prog := Generate(rng, opt.Gen)
+	prog.Seed = seed
+	scratchSeed := rng.Int63()
+	scratch := ScratchFromSeed(scratchSeed)
+
+	tr := TrialReport{Trial: idx, Seed: seed, ScratchSeed: scratchSeed}
+	img, err := prog.Image(scratch)
+	if err != nil {
+		tr.GoldenErr = err.Error()
+		return tr, nil
+	}
+	golden, divs := RunMatrix(ctx, archs, img)
+	tr.Instret = golden.Instret
+	tr.GoldenErr = golden.Err
+	tr.Divergences = divs
+	if len(divs) == 0 || !opt.Shrink {
+		return tr, nil
+	}
+
+	// Minimize against the first diverging arch: the divergence
+	// reproduces iff that arch still disagrees on any field.
+	target := divs[0].Arch
+	pred := func(p Prog) bool {
+		pimg, err := p.Image(scratch)
+		if err != nil {
+			return false
+		}
+		_, ds := RunMatrix(ctx, archs, pimg)
+		for _, d := range ds {
+			if d.Arch == target {
+				return true
+			}
+		}
+		return false
+	}
+	minp := Shrink(prog, pred)
+	tr.Min = &minp
+	if mimg, err := minp.Image(scratch); err == nil {
+		_, tr.MinDivergences = RunMatrix(ctx, archs, mimg)
+	}
+	return tr, nil
+}
+
+// Format renders the campaign report as deterministic text: a summary
+// block, then one section per divergent trial with its divergences,
+// minimal reproducer listing, and the minimal program's divergences.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "difftest: seed %d, %d trials, matrix [%s]\n",
+		r.Seed, r.Trials, strings.Join(r.Archs, " "))
+	fmt.Fprintf(&b, "golden instructions: %d\n", r.TotalInstret)
+	fmt.Fprintf(&b, "diverged: %d trials; generator errors: %d trials\n",
+		len(r.Diverged), len(r.GeneratorErr))
+	for _, tr := range r.GeneratorErr {
+		fmt.Fprintf(&b, "\ntrial %d (seed %d): GOLDEN RUN FAILED: %s\n", tr.Trial, tr.Seed, tr.GoldenErr)
+	}
+	for _, tr := range r.Diverged {
+		fmt.Fprintf(&b, "\ntrial %d (seed %d): DIVERGED\n", tr.Trial, tr.Seed)
+		for _, d := range tr.Divergences {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+		if tr.Min != nil {
+			fmt.Fprintf(&b, "  minimized to %d instructions:\n", tr.Min.insnCount())
+			for _, line := range strings.Split(strings.TrimRight(tr.Min.Disassemble(), "\n"), "\n") {
+				fmt.Fprintf(&b, "    %s\n", line)
+			}
+			for _, d := range tr.MinDivergences {
+				fmt.Fprintf(&b, "  min: %s\n", d)
+			}
+		}
+	}
+	if len(r.Diverged) == 0 && len(r.GeneratorErr) == 0 {
+		b.WriteString("all architectures agree\n")
+	}
+	return b.String()
+}

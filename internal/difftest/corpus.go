@@ -1,0 +1,47 @@
+package difftest
+
+import (
+	"context"
+
+	"diag/internal/mem"
+)
+
+// CorpusEntry is one committed reproducer: a resolved program replayed
+// through the full architecture matrix as an ordinary unit test. New
+// entries come from EmitTestCase output pasted into the corpus slice
+// below (or into a table test), so every divergence the fuzzer ever
+// finds stays pinned after the fix.
+type CorpusEntry struct {
+	Name string
+	// ScratchSeed regenerates the initial scratch-window contents
+	// (0 means an all-zero window).
+	ScratchSeed int64
+	// Text is the resolved instruction stream, loaded at TextBase.
+	Text []uint32
+	// Waiver documents a known, justified divergence; its non-empty
+	// value is the justification, and replay then asserts the
+	// divergence is still exactly the waived kind rather than absent.
+	// kinds is "arch:kind" pairs, e.g. "ooo:instret".
+	Waiver      string
+	WaivedKinds []string
+}
+
+// Image assembles the entry into a loadable image.
+func (e CorpusEntry) Image() *mem.Image {
+	img := &mem.Image{Entry: TextBase, TextAddr: TextBase, Text: e.Text}
+	if e.ScratchSeed != 0 {
+		img.Segments = []mem.Segment{{Addr: ScratchBase, Data: ScratchFromSeed(e.ScratchSeed)}}
+	}
+	return img
+}
+
+// Replay runs the entry across the full matrix and returns the golden
+// result plus any divergences (which the corpus test checks against
+// the entry's waiver).
+func (e CorpusEntry) Replay(ctx context.Context) (ArchResult, []Divergence) {
+	archs, _ := SelectArchs("all")
+	return RunMatrix(ctx, archs, e.Image())
+}
+
+// Corpus returns the committed regression corpus.
+func Corpus() []CorpusEntry { return corpus }

@@ -1,0 +1,48 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"diag/internal/isa"
+)
+
+// EmitTestCase renders a trial's minimal reproducer as ready-to-paste
+// Go source: a CorpusEntry literal for the slice in corpus.go. The text
+// is stored as resolved instruction words (with a disassembly comment
+// per word), so the entry keeps reproducing even if the generator's
+// RNG consumption changes in a later revision.
+func EmitTestCase(tr TrialReport) (string, error) {
+	p := tr.Min
+	if p == nil {
+		return "", fmt.Errorf("difftest: trial %d has no minimized program", tr.Trial)
+	}
+	words, err := p.resolve()
+	if err != nil {
+		return "", err
+	}
+	divs := tr.MinDivergences
+	if len(divs) == 0 {
+		divs = tr.Divergences
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\n")
+	fmt.Fprintf(&b, "\t// Auto-minimized from campaign seed %d (trial %d).\n", tr.Seed, tr.Trial)
+	for _, d := range divs {
+		fmt.Fprintf(&b, "\t// Diverged — %s\n", d)
+	}
+	fmt.Fprintf(&b, "\tName:        %q,\n", fmt.Sprintf("seed_%d", tr.Seed))
+	fmt.Fprintf(&b, "\tScratchSeed: %d,\n", tr.ScratchSeed)
+	fmt.Fprintf(&b, "\tText: []uint32{\n")
+	for i, w := range words {
+		asm := "<undecodable>"
+		if in, err := isa.Decode(w); err == nil {
+			asm = fmt.Sprint(in)
+		}
+		fmt.Fprintf(&b, "\t\t0x%08x, // %08x: %s\n", w, TextBase+4*uint32(i), asm)
+	}
+	fmt.Fprintf(&b, "\t},\n")
+	fmt.Fprintf(&b, "},\n")
+	return b.String(), nil
+}

@@ -1,0 +1,256 @@
+// Package difftest is the differential conformance fuzzer that keeps
+// the repository's three machine models — the golden ISS, the DiAG
+// dataflow ring, and the out-of-order baseline — architecturally
+// equivalent. Every number this reproduction reports rests on the claim
+// that the timing simulators compute the same results as the golden
+// model; this package turns that claim from a spot check into an
+// instrument:
+//
+//   - a seed-driven random RV32IM program generator emits
+//     guaranteed-terminating programs (bounded backward branches,
+//     memory confined to a scratch window) with a weighted
+//     instruction mix;
+//   - a differential executor runs each program across an architecture
+//     matrix (ISS with and without predecode; the DiAG ring in
+//     default, no-predecode, speculative-datapath, 16-cluster
+//     reuse-heavy, and degraded-cluster configurations; the OoO
+//     baseline) and compares retired-instruction counts, final
+//     register files, and memory digests;
+//   - divergences are shrunk by a delta-debugging minimizer into a
+//     minimal reproducer and emitted as ready-to-paste Go table-test
+//     source;
+//   - campaigns fan out deterministically over internal/exp, so a
+//     fixed seed replays byte-identically at any worker count;
+//   - a committed corpus of minimized repros replays as ordinary unit
+//     tests, so every past divergence stays fixed forever.
+//
+// See DESIGN.md §10 for the architecture and the determinism contract.
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"diag/internal/isa"
+	"diag/internal/mem"
+)
+
+// Program layout constants. Text sits at the assembler's default base;
+// the scratch window — the only memory data-side instructions can reach
+// — is a disjoint 2 KiB region above it, so generated programs can
+// never store into their own text (self-modifying code has dedicated
+// tests elsewhere; here it would only add noise).
+const (
+	// TextBase is where generated programs are loaded.
+	TextBase = 0x0000_1000
+	// ScratchBase is the bottom of the data scratch window.
+	ScratchBase = 0x0000_8000
+	// ScratchSize is the scratch window size in bytes. The window mask
+	// (offsetMask) must keep every access inside it: offsets are
+	// masked to [0, 2040] in 8-byte steps and displacements add at
+	// most 7.
+	ScratchSize = 2048
+	// offsetMask confines a memory offset to the scratch window at
+	// 8-byte alignment; it must fit a 12-bit signed ANDI immediate.
+	offsetMask = 0x7F8
+)
+
+// Reserved registers. The generator never hands these to the random
+// pool, which is what makes termination and memory confinement provable
+// under arbitrary instruction deletion (see Atom):
+//
+//   - xBase holds ScratchBase (set once by the prologue; if the
+//     prologue is shrunk away the window degenerates to [0, 2048),
+//     which is still disjoint from text);
+//   - xAddr is the scratch address temporary every memory atom
+//     recomputes before use;
+//   - loop counters only ever monotonically increase outside their
+//     loop-init atom, and loop bounds are only ever written small
+//     positive constants, so every backward branch is bounded.
+const (
+	xBase = isa.S0 // x8: scratch window base
+	xAddr = isa.T0 // x5: memory address temporary
+
+	ctrReg0   = isa.Reg(30) // loop counter, nesting depth 0
+	ctrReg1   = isa.Reg(31) // loop counter, nesting depth 1
+	boundReg0 = isa.Reg(28) // loop bound, nesting depth 0
+	boundReg1 = isa.Reg(29) // loop bound, nesting depth 1
+)
+
+// Kind labels an atom's structural role, which the shrinker uses to
+// pick legal simplifications.
+type Kind uint8
+
+// Atom kinds.
+const (
+	KindPlain    Kind = iota // straight-line computation
+	KindMem                  // masked scratch-window load or store
+	KindBranch               // forward conditional branch
+	KindJump                 // forward jal
+	KindLoopInit             // bound := k; ctr := 0
+	KindLoopBack             // ctr++; blt ctr, bound, target
+	KindHalt                 // ebreak
+)
+
+// Atom is the unit of generation and minimization: a short sequence of
+// instructions that is dropped or kept as a whole. Branch targets are
+// atom indices, not byte offsets, so deleting atoms just re-resolves
+// the offsets instead of corrupting them.
+//
+// Termination is invariant under any subset of atoms: the only backward
+// branches are KindLoopBack atoms, whose counter register increments on
+// every execution and whose bound register can only ever hold a small
+// constant (or its zero initial value), so each backward branch retires
+// a bounded number of times no matter which other atoms survive.
+type Atom struct {
+	Kind   Kind
+	Insns  []isa.Inst // control instruction (if any) is the last entry
+	Target int        // atom index for Branch/Jump/LoopBack; -1 otherwise
+}
+
+// Prog is a generated program: a flat atom sequence ending in a
+// KindHalt atom.
+type Prog struct {
+	Atoms []Atom
+	// Seed records the generator seed the program came from (0 for
+	// hand-built programs); reports carry it so any repro names its
+	// origin.
+	Seed int64
+}
+
+// insnCount returns the total instruction count.
+func (p *Prog) insnCount() int {
+	n := 0
+	for i := range p.Atoms {
+		n += len(p.Atoms[i].Insns)
+	}
+	return n
+}
+
+// resolve returns the encoded instruction words with every atom-index
+// target turned into a byte displacement.
+func (p *Prog) resolve() ([]uint32, error) {
+	// First instruction index of every atom, plus the end sentinel.
+	starts := make([]int, len(p.Atoms)+1)
+	n := 0
+	for i := range p.Atoms {
+		starts[i] = n
+		n += len(p.Atoms[i].Insns)
+	}
+	starts[len(p.Atoms)] = n
+
+	words := make([]uint32, 0, n)
+	for i := range p.Atoms {
+		a := &p.Atoms[i]
+		for j, in := range a.Insns {
+			if a.Target >= 0 && j == len(a.Insns)-1 {
+				// The control instruction is the atom's last insn; its
+				// displacement runs from this instruction to the start
+				// of the target atom (clamped to the final atom — the
+				// halt — so no branch can escape the text section).
+				tgt := a.Target
+				if tgt >= len(p.Atoms) {
+					tgt = len(p.Atoms) - 1
+				}
+				self := starts[i] + j
+				in.Imm = int32(starts[tgt]-self) * 4
+			}
+			w, err := isa.Encode(in)
+			if err != nil {
+				return nil, fmt.Errorf("difftest: atom %d insn %d (%v): %w", i, j, in, err)
+			}
+			words = append(words, w)
+		}
+	}
+	return words, nil
+}
+
+// Image assembles the program into a loadable image: text at TextBase
+// and the scratch window initialized with the given bytes (may be nil
+// for an all-zero window).
+func (p *Prog) Image(scratch []byte) (*mem.Image, error) {
+	words, err := p.resolve()
+	if err != nil {
+		return nil, err
+	}
+	img := &mem.Image{Entry: TextBase, TextAddr: TextBase, Text: words}
+	if len(scratch) > 0 {
+		if len(scratch) > ScratchSize {
+			scratch = scratch[:ScratchSize]
+		}
+		img.Segments = []mem.Segment{{Addr: ScratchBase, Data: append([]byte(nil), scratch...)}}
+	}
+	return img, nil
+}
+
+// Disassemble renders the resolved program one instruction per line,
+// with addresses — the shape divergence reports and emitted test cases
+// embed.
+func (p *Prog) Disassemble() string {
+	words, err := p.resolve()
+	if err != nil {
+		return fmt.Sprintf("<unresolvable: %v>", err)
+	}
+	var b strings.Builder
+	for i, w := range words {
+		in, err := isa.Decode(w)
+		if err != nil {
+			fmt.Fprintf(&b, "%08x: %08x  <undecodable>\n", TextBase+4*i, w)
+			continue
+		}
+		fmt.Fprintf(&b, "%08x: %08x  %v\n", TextBase+4*i, w, in)
+	}
+	return b.String()
+}
+
+// subset returns the program restricted to the atoms where keep[i] is
+// true, with every control target remapped to the first surviving atom
+// at or after the original target (falling through to the halt
+// sentinel). Forward branches stay forward and backward branches can
+// only tighten, so the termination argument survives every subset.
+func (p *Prog) subset(keep []bool) Prog {
+	// remap[i] = index in the new slice of the first kept atom >= i.
+	remap := make([]int, len(p.Atoms)+1)
+	kept := 0
+	for i := len(p.Atoms) - 1; i >= 0; i-- {
+		if keep[i] {
+			kept++
+		}
+	}
+	next := kept
+	remap[len(p.Atoms)] = kept
+	for i := len(p.Atoms) - 1; i >= 0; i-- {
+		if keep[i] {
+			next--
+		}
+		remap[i] = next
+	}
+	out := Prog{Seed: p.Seed, Atoms: make([]Atom, 0, kept)}
+	for i := range p.Atoms {
+		if !keep[i] {
+			continue
+		}
+		a := p.Atoms[i]
+		if a.Target >= 0 {
+			t := a.Target
+			if t > len(p.Atoms) {
+				t = len(p.Atoms)
+			}
+			a.Target = remap[t]
+		}
+		// Atoms share no backing arrays with the original: the shrinker
+		// mutates candidate instructions in place.
+		a.Insns = append([]isa.Inst(nil), a.Insns...)
+		out.Atoms = append(out.Atoms, a)
+	}
+	return out
+}
+
+// clone deep-copies the program.
+func (p *Prog) clone() Prog {
+	keep := make([]bool, len(p.Atoms))
+	for i := range keep {
+		keep[i] = true
+	}
+	return p.subset(keep)
+}

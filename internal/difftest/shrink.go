@@ -1,0 +1,161 @@
+package difftest
+
+import (
+	"diag/internal/isa"
+)
+
+// Predicate reports whether a candidate program still exhibits the
+// divergence being minimized. It must be deterministic: the shrinker's
+// output is then a pure function of the input program.
+type Predicate func(Prog) bool
+
+// maxShrinkEvals caps predicate evaluations per minimization. Each
+// evaluation is a full matrix run of a shrinking program, so the cap
+// bounds minimization at well under a second per divergence.
+const maxShrinkEvals = 400
+
+// shrinker tracks the evaluation budget.
+type shrinker struct {
+	pred  Predicate
+	evals int
+}
+
+func (s *shrinker) check(p Prog) bool {
+	if s.evals >= maxShrinkEvals {
+		return false
+	}
+	s.evals++
+	return s.pred(p)
+}
+
+// Shrink delta-debugs p down to a (locally) minimal program on which
+// pred still holds. Two phases:
+//
+//  1. atom removal, ddmin-style: try deleting chunks of halving size;
+//     any successful deletion restarts the pass at the same
+//     granularity. Halt atoms are never deleted (a program that runs
+//     off the end of text fails on every arch at once, masking the
+//     original divergence).
+//  2. instruction simplification: canonicalize surviving computation
+//     atoms (zero immediates, fold rs2 onto rs1, weaken ops to ADD,
+//     canonicalize memory widths) wherever the divergence survives.
+//
+// Every candidate is produced by Prog.subset, so control-flow targets
+// re-resolve and the generator's termination guarantee holds for each
+// one; the shrinker therefore never needs a timeout of its own.
+func Shrink(p Prog, pred Predicate) Prog {
+	s := &shrinker{pred: pred}
+	if !s.check(p) {
+		// The divergence does not reproduce on the input (flaky matrix
+		// or a predicate bug): return the input unshrunk.
+		return p
+	}
+	cur := p.clone()
+	cur = s.removeAtoms(cur)
+	cur = s.simplifyInsns(cur)
+	return cur
+}
+
+// removeAtoms is the ddmin loop over atom chunks.
+func (s *shrinker) removeAtoms(cur Prog) Prog {
+	for chunk := len(cur.Atoms); chunk >= 1; chunk /= 2 {
+		removed := true
+		for removed {
+			removed = false
+			for lo := 0; lo < len(cur.Atoms); lo += chunk {
+				hi := min(lo+chunk, len(cur.Atoms))
+				keep := make([]bool, len(cur.Atoms))
+				any := false
+				for i := range keep {
+					drop := i >= lo && i < hi && cur.Atoms[i].Kind != KindHalt
+					keep[i] = !drop
+					any = any || drop
+				}
+				if !any {
+					continue
+				}
+				cand := cur.subset(keep)
+				if s.check(cand) {
+					cur = cand
+					removed = true
+					// Chunk boundaries moved; rescan this granularity.
+					break
+				}
+			}
+			if s.evals >= maxShrinkEvals {
+				return cur
+			}
+		}
+	}
+	return cur
+}
+
+// simplifyInsns canonicalizes atoms in place where the divergence
+// survives. Only transformations that preserve the structural
+// invariants are attempted: reserved registers are never introduced or
+// retargeted and control instructions are left alone, so confinement
+// and termination cannot regress.
+func (s *shrinker) simplifyInsns(cur Prog) Prog {
+	for i := range cur.Atoms {
+		a := &cur.Atoms[i]
+		switch a.Kind {
+		case KindPlain:
+			for j := range a.Insns {
+				in := a.Insns[j]
+				for _, alt := range simplerVariants(in) {
+					cand := cur.clone()
+					cand.Atoms[i].Insns[j] = alt
+					if s.check(cand) {
+						cur = cand
+						a = &cur.Atoms[i]
+						break
+					}
+				}
+			}
+		case KindMem:
+			// Canonicalize the access itself (last insn): lw/sw at
+			// displacement 0.
+			j := len(a.Insns) - 1
+			in := a.Insns[j]
+			canon := in
+			canon.Imm = 0
+			if in.Op.IsLoad() {
+				canon.Op = isa.OpLW
+			} else {
+				canon.Op = isa.OpSW
+			}
+			if canon != in {
+				cand := cur.clone()
+				cand.Atoms[i].Insns[j] = canon
+				if s.check(cand) {
+					cur = cand
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// simplerVariants proposes progressively blander replacements for one
+// straight-line instruction, keeping its destination register (a later
+// consumer may be what exposes the divergence).
+func simplerVariants(in isa.Inst) []isa.Inst {
+	var out []isa.Inst
+	if !in.Op.WritesRd() || in.Op.IsControl() || in.Op.Class() == isa.ClassSys {
+		return nil
+	}
+	if in.Imm != 0 {
+		v := in
+		v.Imm = 0
+		out = append(out, v)
+	}
+	if in.Op.ReadsRs2() && in.Rs2 != in.Rs1 {
+		v := in
+		v.Rs2 = in.Rs1
+		out = append(out, v)
+	}
+	if in.Op != isa.OpADDI {
+		out = append(out, isa.Inst{Op: isa.OpADDI, Rd: in.Rd, Rs1: isa.Zero, Imm: 1})
+	}
+	return out
+}

@@ -273,6 +273,74 @@ func TestWatchdogStallsBothMachines(t *testing.T) {
 	}
 }
 
+// TestSelfCorrectingFaultMasked: two transient flips of the same bit
+// in the same register, on consecutive cycles with no intervening read,
+// cancel out — the run must classify as masked, not SDC. This pins the
+// classifier on final-state equivalence rather than "was state ever
+// corrupted".
+func TestSelfCorrectingFaultMasked(t *testing.T) {
+	img := sumImage(t)
+	c := sumCampaign(img)
+	golden, _, err := goldenRun(img, 1_000_000)
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	dataAddr, dataLen := c.dataRegion()
+	base := c.runner(nil, dataAddr, dataLen, 0, 0)(context.Background())
+	if base.err != nil {
+		t.Fatalf("unfaulted run: %v", base.err)
+	}
+	mid := base.cycles / 2
+	// x6 (Index 5) is the loop bound: a single bit-29 flip is the pinned
+	// hang case in TestOutcomeClasses, so cancellation is load-bearing —
+	// if the second flip failed to undo the first, this run could not
+	// come back masked.
+	faults := []Fault{
+		{Cycle: mid, Class: SiteLane, Index: 5, Bit: 29, StuckAt: -1},
+		{Cycle: mid + 1, Class: SiteLane, Index: 5, Bit: 29, StuckAt: -1},
+	}
+	res := c.runner(faults, dataAddr, dataLen, uint64(20_000), base.cycles*8+100_000)(context.Background())
+	if !res.injected {
+		t.Fatal("faults never injected")
+	}
+	got, msg := classify(res, golden)
+	if got == SDC {
+		t.Fatalf("self-correcting fault classified SDC — classifier is keying on transient corruption")
+	}
+	if got != Masked {
+		t.Fatalf("self-correcting fault classified %v (err %q), want masked", got, msg)
+	}
+}
+
+// TestStalledHangFiresBeforeCycleBudget: a livelocked program must be
+// stopped by the retirement watchdog (ErrStalled) orders of magnitude
+// before the cycle budget, and the campaign classifier must call it a
+// hang. A watchdog that merely waited for MaxCycles would make every
+// hang trial cost the full budget.
+func TestStalledHangFiresBeforeCycleBudget(t *testing.T) {
+	img, err := asm.Assemble("loop:\n\tj loop\n")
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	const budget = 10_000_000
+	cfg := diag.F4C2()
+	c := &Campaign{Image: img, DiAG: &cfg}
+	res := c.runner(nil, 0, 0, 0, budget)(context.Background())
+	if !errors.Is(res.err, diagerr.ErrStalled) {
+		t.Fatalf("run error = %v, want ErrStalled", res.err)
+	}
+	if errors.Is(res.err, diagerr.ErrMaxCycles) {
+		t.Fatal("stall must be proven by the watchdog, not by cycle-budget exhaustion")
+	}
+	if res.cycles >= budget/100 {
+		t.Fatalf("watchdog fired after %d cycles; want well under the %d budget", res.cycles, budget)
+	}
+	out, msg := classify(res, goldenRef{textAddr: img.TextAddr, textEnd: img.TextEnd()})
+	if out != Hang {
+		t.Fatalf("stalled run classified %v (err %q), want hang", out, msg)
+	}
+}
+
 // TestParseClasses covers names, aliases, and rejection.
 func TestParseClasses(t *testing.T) {
 	got, err := ParseClasses("reg, mem,ibuf,cache")

@@ -217,6 +217,64 @@ func TestMultiThreadOnDiAGRings(t *testing.T) {
 	}
 }
 
+// TestGoldenEndStateAgreement runs every kernel on the golden ISS, the
+// F4C2 DiAG machine, and the OoO baseline, and asserts the three final
+// memory images are bit-identical (same digest) with equal
+// retired-instruction counts — the full conformance contract, not just
+// the workload's own output check.
+func TestGoldenEndStateAgreement(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			p := Params{Scale: 1, Threads: 1}
+			img, err := w.Build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			gm := mem.New()
+			entry, err := img.Load(gm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := iss.New(gm, entry)
+			g.X[4], g.X[3] = 0, 1 // tp = hart id, gp = hart count
+			g.Run(200_000_000)
+			if g.Err != nil || !g.Halted {
+				t.Fatalf("golden run: halted=%v err=%v", g.Halted, g.Err)
+			}
+			goldenDigest := gm.Digest()
+
+			dst, dm, err := diag.RunImage(diag.F4C2(), img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := dm.Digest(); got != goldenDigest {
+				t.Errorf("DiAG memory digest 0x%016x, golden 0x%016x", got, goldenDigest)
+			}
+			if dst.Retired != g.Instret {
+				t.Errorf("DiAG retired %d, golden %d", dst.Retired, g.Instret)
+			}
+			if err := w.Check(dm, p); err != nil {
+				t.Errorf("DiAG check: %v", err)
+			}
+
+			ost, om, err := ooo.RunImage(ooo.Baseline(), img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := om.Digest(); got != goldenDigest {
+				t.Errorf("OoO memory digest 0x%016x, golden 0x%016x", got, goldenDigest)
+			}
+			if ost.Retired != g.Instret {
+				t.Errorf("OoO retired %d, golden %d", ost.Retired, g.Instret)
+			}
+			if err := w.Check(om, p); err != nil {
+				t.Errorf("OoO check: %v", err)
+			}
+		})
+	}
+}
+
 // TestScaleGrowsWork sanity-checks the Scale knob.
 func TestScaleGrowsWork(t *testing.T) {
 	w, _ := ByName("hotspot")
