@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke difftest-smoke
+.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke difftest-smoke docs-check trace-smoke
 
 all: build vet test
 
@@ -61,14 +61,29 @@ tables:
 	$(GO) run ./cmd/diag-report -table1 -table2 -table3
 
 examples:
-	@for e in quickstart euclid simt compare baremetal interrupt faultdemo; do \
+	@for e in quickstart euclid simt compare baremetal interrupt faultdemo tracedemo; do \
 		echo "=== examples/$$e ==="; \
 		$(GO) run ./examples/$$e; echo; \
 	done
+
+# Documentation hygiene: every relative markdown link resolves, every
+# exported symbol of the public package carries a doc comment.
+docs-check:
+	$(GO) vet ./...
+	$(GO) test -run 'TestMarkdownLinks|TestExportedDocComments' .
+
+# Observability smoke: emit a Chrome trace from each machine model and
+# re-validate the files against the trace-event schema subset.
+trace-smoke:
+	$(GO) build -o /tmp/diag-trace ./cmd/diag-trace
+	/tmp/diag-trace -kernel pathfinder -machine F4C2 -o /tmp/ring.json -summary
+	/tmp/diag-trace -kernel pathfinder -machine ooo -o /tmp/ooo.json
+	/tmp/diag-trace -validate /tmp/ring.json
+	/tmp/diag-trace -validate /tmp/ooo.json
 
 cover:
 	$(GO) test -cover ./...
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt trace.json

@@ -23,12 +23,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"diag/internal/diag"
 	"diag/internal/difftest"
+	"diag/internal/obsv"
+	"diag/internal/ooo"
 )
 
 func main() {
@@ -39,6 +44,7 @@ func main() {
 	emitTest := flag.Bool("emit-test", false, "print minimized repros as Go corpus-entry source after the report")
 	parallel := flag.Int("parallel", 0, "concurrent trial runners (0 = GOMAXPROCS; the report is identical at any value)")
 	maxAtoms := flag.Int("max-atoms", 0, "program size knob: body atoms per generated program (0 = default)")
+	traceDir := flag.String("trace-dir", "", "re-run each divergent reproducer with observability on and write Chrome traces (ring + ooo) into this directory")
 	listArchs := flag.Bool("list-archs", false, "print the matrix columns and exit")
 	verbose := flag.Bool("v", false, "print a line per trial to stderr")
 	flag.Parse()
@@ -86,10 +92,78 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trial %4d  seed %-12d  %d divergences\n", tr.Trial, tr.Seed, len(tr.Divergences))
 		}
 	}
+	if *traceDir != "" && len(rep.Diverged) > 0 {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, tr := range rep.Diverged {
+			if err := writeTraces(ctx, tr, opt.Gen, *traceDir); err != nil {
+				fmt.Fprintf(os.Stderr, "diag-difftest: trial %d traces: %v\n", tr.Trial, err)
+			}
+		}
+	}
 	fmt.Fprintf(os.Stderr, "diag-difftest: %d trials in %v\n", rep.Trials, time.Since(start).Round(time.Millisecond))
 	if len(rep.Diverged) > 0 || len(rep.GeneratorErr) > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTraces re-runs one divergent trial's reproducer (the minimized
+// program when shrinking found one, the original otherwise) on the DiAG
+// ring and the out-of-order baseline with the observability layer
+// attached, writing one Chrome trace per machine. Diffing the two in
+// Perfetto shows where the timelines part ways.
+func writeTraces(ctx context.Context, tr difftest.TrialReport, gen difftest.GenOptions, dir string) error {
+	prog := difftest.Generate(rand.New(rand.NewSource(tr.Seed)), gen)
+	if tr.Min != nil {
+		prog = *tr.Min
+	}
+	img, err := prog.Image(difftest.ScratchFromSeed(tr.ScratchSeed))
+	if err != nil {
+		return err
+	}
+
+	write := func(suffix string, run func(obs obsv.Observer) error) error {
+		col := obsv.NewCollector(0)
+		if err := run(col); err != nil {
+			// A divergent program may legitimately fail on one machine;
+			// the partial trace is still worth keeping.
+			fmt.Fprintf(os.Stderr, "diag-difftest: trial %d on %s: %v\n", tr.Trial, suffix, err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("trial-%d-%s.json", tr.Trial, suffix))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteChromeTrace(f, obsv.ChromeTraceOptions{UnitNames: []string{suffix}}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "diag-difftest: wrote %s (%d events)\n", path, col.Total())
+		return nil
+	}
+
+	if err := write("ring", func(obs obsv.Observer) error {
+		mach, err := diag.NewMachine(diag.F4C2(), img)
+		if err != nil {
+			return err
+		}
+		mach.SetObserver(obs)
+		return mach.RunContext(ctx)
+	}); err != nil {
+		return err
+	}
+	return write("ooo", func(obs obsv.Observer) error {
+		mach, err := ooo.NewMachine(ooo.Baseline(), img)
+		if err != nil {
+			return err
+		}
+		mach.SetObserver(obs)
+		return mach.RunContext(ctx)
+	})
 }
 
 func fatal(err error) {

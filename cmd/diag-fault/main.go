@@ -27,6 +27,7 @@ import (
 	"diag/internal/diag"
 	"diag/internal/fault"
 	"diag/internal/mem"
+	"diag/internal/obsv"
 	"diag/internal/ooo"
 	"diag/internal/workloads"
 )
@@ -41,6 +42,8 @@ func main() {
 	workload := flag.String("workload", "", "run a named benchmark instead of a file")
 	scale := flag.Int("scale", 1, "workload problem-size knob")
 	degrade := flag.Int("degrade", -1, "sweep 0..K disabled clusters instead of injecting faults (DiAG only)")
+	traceOut := flag.String("trace-out", "", "replay the first trial matching -trace-outcome with observability on and write its Chrome trace here")
+	traceOutcome := flag.String("trace-outcome", "SDC", "outcome to replay for -trace-out (masked, SDC, detected, crash, hang)")
 	verbose := flag.Bool("v", false, "print every trial")
 	flag.Parse()
 
@@ -110,6 +113,48 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "diag-fault: %d trials in %v\n", len(rep.Trials), time.Since(start).Round(time.Millisecond))
+
+	if *traceOut != "" {
+		if err := replayWithTrace(ctx, c, rep, *traceOutcome, *traceOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// replayWithTrace re-runs the first trial whose outcome matches the
+// requested class with the observability layer attached and writes the
+// resulting Chrome trace, so the interesting run can be opened in
+// Perfetto.
+func replayWithTrace(ctx context.Context, c *fault.Campaign, rep *fault.Report, outcome, path string) error {
+	trial := -1
+	for i, t := range rep.Trials {
+		if strings.EqualFold(t.Outcome.String(), outcome) {
+			trial = i
+			break
+		}
+	}
+	if trial < 0 {
+		return fmt.Errorf("no trial classified %q to replay", outcome)
+	}
+	col := obsv.NewCollector(0)
+	t, err := c.Replay(ctx, rep, trial, col)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := col.WriteChromeTrace(f, obsv.ChromeTraceOptions{UnitNames: []string{rep.Machine}}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "diag-fault: replayed trial %d (%s -> %s) with tracing: %s (%d events)\n",
+		trial, t.Fault, t.Outcome, path, col.Total())
+	return nil
 }
 
 func buildProgram(name string, p workloads.Params) (*mem.Image, string, error) {

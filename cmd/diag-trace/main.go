@@ -1,0 +1,196 @@
+// diag-trace runs a program — an assembly source file or a named
+// benchmark kernel — with the cycle-level observability layer attached
+// and exports what it saw: a Chrome trace-event JSON file loadable at
+// https://ui.perfetto.dev (or chrome://tracing), a CSV occupancy
+// timeseries, and a metrics summary.
+//
+// Usage:
+//
+//	diag-trace -kernel pathfinder -o trace.json
+//	diag-trace -machine ooo -kernel mcf -scale 2 -o trace.json -csv occ.csv
+//	diag-trace -machine F4C16 -summary prog.s
+//
+// The exported trace is validated against the trace-event schema subset
+// before it is written; -validate checks an existing file instead of
+// running anything.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"diag/internal/asm"
+	"diag/internal/diag"
+	"diag/internal/mem"
+	"diag/internal/obsv"
+	"diag/internal/ooo"
+	"diag/internal/workloads"
+)
+
+func main() {
+	machine := flag.String("machine", "F4C2", "I4C2, F4C2, F4C16, F4C32, or ooo")
+	kernel := flag.String("kernel", "", "run a named benchmark kernel instead of a file")
+	scale := flag.Int("scale", 1, "kernel problem-size knob")
+	out := flag.String("o", "", "write the Chrome trace-event JSON here")
+	csvOut := flag.String("csv", "", "write the occupancy timeseries CSV here")
+	summary := flag.Bool("summary", false, "print the metrics summary to stdout")
+	limit := flag.Int("limit", 0, "event retention bound (0 = default; events past it still count)")
+	sample := flag.Int64("sample", 0, "minimum cycle spacing between occupancy samples (0 = default 256)")
+	validate := flag.String("validate", "", "validate an existing trace JSON file and exit")
+	maxCycles := flag.Int64("max-cycles", 0, "simulated-cycle budget for the run (0 = none)")
+	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err := obsv.DecodeChromeTrace(f)
+		f.Close()
+		if err == nil {
+			err = doc.Validate()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid (%d entries)\n", *validate, len(doc.TraceEvents))
+		return
+	}
+	if *out == "" && *csvOut == "" && !*summary {
+		fatal(fmt.Errorf("nothing to do: pass -o, -csv, or -summary"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	img, label, err := buildProgram(*kernel, workloads.Params{Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+
+	col := obsv.NewCollector(*limit)
+	reg := obsv.NewRegistry(*sample)
+	obs := obsv.Tee(col, reg)
+
+	var unitNames []string
+	if strings.EqualFold(*machine, "ooo") {
+		cfg := ooo.Baseline()
+		cfg.MaxCycles = *maxCycles
+		mach, err := ooo.NewMachine(cfg, img)
+		if err != nil {
+			fatal(err)
+		}
+		mach.SetObserver(obs)
+		if err := mach.RunContext(ctx); err != nil {
+			fatal(err)
+		}
+		for i := 0; i < cfg.Cores; i++ {
+			unitNames = append(unitNames, fmt.Sprintf("core %d", i))
+		}
+		fmt.Fprintf(os.Stderr, "diag-trace: %s on %s: %d cycles, %d events (%d dropped)\n",
+			label, cfg.Name, mach.Stats().Cycles, col.Total(), col.Dropped())
+	} else {
+		cfg, err := diagConfig(*machine)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.MaxCycles = *maxCycles
+		mach, err := diag.NewMachine(cfg, img)
+		if err != nil {
+			fatal(err)
+		}
+		mach.SetObserver(obs)
+		if err := mach.RunContext(ctx); err != nil {
+			fatal(err)
+		}
+		for i := 0; i < cfg.Rings; i++ {
+			unitNames = append(unitNames, fmt.Sprintf("ring %d", i))
+		}
+		fmt.Fprintf(os.Stderr, "diag-trace: %s on %s: %d cycles, %d events (%d dropped)\n",
+			label, cfg.Name, mach.Stats().Cycles, col.Total(), col.Dropped())
+	}
+
+	if *out != "" {
+		// Export to memory first so the written file is always a trace
+		// that round-trips through the schema validator.
+		var buf bytes.Buffer
+		if err := col.WriteChromeTrace(&buf, obsv.ChromeTraceOptions{UnitNames: unitNames}); err != nil {
+			fatal(err)
+		}
+		doc, err := obsv.DecodeChromeTrace(bytes.NewReader(buf.Bytes()))
+		if err == nil {
+			err = doc.Validate()
+		}
+		if err != nil {
+			fatal(fmt.Errorf("internal error: emitted trace fails validation: %w", err))
+		}
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "diag-trace: wrote %s (%d entries); open at https://ui.perfetto.dev\n",
+			*out, len(doc.TraceEvents))
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *summary {
+		fmt.Print(reg.Summary())
+	}
+}
+
+func buildProgram(name string, p workloads.Params) (*mem.Image, string, error) {
+	if name != "" {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			names := make([]string, 0, 20)
+			for _, w := range workloads.All() {
+				names = append(names, w.Name)
+			}
+			return nil, "", fmt.Errorf("unknown kernel %q (have: %s)", name, strings.Join(names, ", "))
+		}
+		img, err := w.Build(p)
+		return img, name, err
+	}
+	if flag.NArg() != 1 {
+		return nil, "", fmt.Errorf("usage: diag-trace [flags] prog.s  (or -kernel NAME)")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return nil, "", err
+	}
+	img, err := asm.Assemble(string(src))
+	return img, flag.Arg(0), err
+}
+
+func diagConfig(name string) (diag.Config, error) {
+	switch strings.ToUpper(name) {
+	case "I4C2":
+		return diag.I4C2(), nil
+	case "F4C2":
+		return diag.F4C2(), nil
+	case "F4C16":
+		return diag.F4C16(), nil
+	case "F4C32":
+		return diag.F4C32(), nil
+	}
+	return diag.Config{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diag-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+package diag_test
+
+// Documentation hygiene tests. These run in the ordinary suite (and
+// the CI docs job) so the docs rot no faster than the code: every
+// relative markdown link must resolve, and every exported symbol of
+// the public package must carry a doc comment.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownFiles returns every tracked .md file of the repository
+// (skipping hidden directories), relative to the repo root.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	return files
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks resolves every relative link target in every
+// markdown file. External links (http/https/mailto) and pure anchors
+// are skipped; fenced code blocks are skipped so shell snippets that
+// happen to contain "](...)"-shaped text cannot false-positive.
+func TestMarkdownLinks(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inFence := false
+		for lineNo, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.HasPrefix(target, "http://") ||
+					strings.HasPrefix(target, "https://") ||
+					strings.HasPrefix(target, "mailto:") ||
+					strings.HasPrefix(target, "#") {
+					continue
+				}
+				target = strings.SplitN(target, "#", 2)[0] // drop anchor
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s:%d: broken link %q (resolved %s)", file, lineNo+1, m[1], resolved)
+				}
+			}
+		}
+	}
+}
+
+// TestExportedDocComments parses the root package and requires a doc
+// comment on every exported top-level declaration. A doc comment on
+// the enclosing GenDecl (a documented const/var block) covers its
+// members, matching godoc's own rendering.
+func TestExportedDocComments(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["diag"]
+	if !ok {
+		t.Fatalf("package diag not found (got %v)", pkgs)
+	}
+	for name, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc.Text() == "" {
+					t.Errorf("%s: exported func %s has no doc comment", name, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				blockDoc := d.Doc.Text() != ""
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !blockDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+							t.Errorf("%s: exported type %s has no doc comment", name, s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if !blockDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+							for _, id := range s.Names {
+								if id.IsExported() {
+									t.Errorf("%s: exported %s has no doc comment", name, id.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -32,6 +32,43 @@ func ExampleRun() {
 	// retired: 202
 }
 
+// ExampleRun_withObserver attaches the cycle-level observability layer
+// to a run: an EventCollector retaining the event stream and a Metrics
+// registry aggregating it, teed behind one option. The pinned counts
+// are the package's golden event counts for this kernel (see
+// events_test.go): the loop body lives in one I-line, every one of the
+// 99 taken backward branches reuses the constructed datapath, and the
+// PC lane retires 202 instructions.
+func ExampleRun_withObserver() {
+	img, err := diag.Assemble(`
+	    li   t0, 0
+	    li   t1, 100
+	loop:
+	    addi t0, t0, 1
+	    blt  t0, t1, loop
+	    ebreak
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	col := diag.NewEventCollector(0)
+	met := diag.NewMetrics(0)
+	_, _, err = diag.Run(diag.F4C2(), img,
+		diag.WithObserver(diag.ObserverTee(col, met)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("retires:", col.Count(diag.EventRetire))
+	fmt.Println("reuse hits:", col.Count(diag.EventClusterReuse))
+	fmt.Println("line loads:", met.Counter("ev/cluster-load"))
+	// col.WriteChromeTrace(w, diag.ChromeTraceOptions{}) exports the
+	// stream for https://ui.perfetto.dev.
+	// Output:
+	// retires: 202
+	// reuse hits: 99
+	// line loads: 1
+}
+
 // ExampleSweep fans independent simulations — the same program on a
 // DiAG machine and on the out-of-order baseline — across a worker
 // pool. Results come back in job order regardless of which finishes

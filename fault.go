@@ -115,6 +115,29 @@ func FaultCampaignBaseline(ctx context.Context, cfg BaselineConfig, p *Program, 
 	return c.Run(ctx)
 }
 
+// FaultReplay re-runs one trial of a finished DiAG campaign with a
+// cycle-level observer attached, so a surprising outcome — an SDC, a
+// hang — can be examined event by event (typically by exporting an
+// EventCollector's Chrome trace to Perfetto). cfg, p, and the options
+// must match the campaign that produced rep; the replayed trial's fault,
+// budgets, and classification are then identical to rep.Trials[trial].
+func FaultReplay(ctx context.Context, cfg Config, p *Program, rep *FaultReport, trial int, obs Observer, opts ...FaultOption) (FaultTrial, error) {
+	c := &fault.Campaign{Image: p, DiAG: &cfg}
+	for _, o := range opts {
+		o(c)
+	}
+	return c.Replay(ctx, rep, trial, obs)
+}
+
+// FaultReplayBaseline is FaultReplay on the out-of-order baseline.
+func FaultReplayBaseline(ctx context.Context, cfg BaselineConfig, p *Program, rep *FaultReport, trial int, obs Observer, opts ...FaultOption) (FaultTrial, error) {
+	c := &fault.Campaign{Image: p, OoO: &cfg}
+	for _, o := range opts {
+		o(c)
+	}
+	return c.Replay(ctx, rep, trial, obs)
+}
+
 // DegradePoint is one entry of a degraded-mode slowdown curve.
 type DegradePoint = fault.DegradePoint
 

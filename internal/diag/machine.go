@@ -9,7 +9,13 @@ import (
 	"diag/internal/isa"
 	"diag/internal/iss"
 	"diag/internal/mem"
+	"diag/internal/obsv"
 )
+
+// obsSampleInterval is how many retired instructions pass between
+// occupancy samples when an observer is attached; a power of two so
+// the check compiles to a mask.
+const obsSampleInterval = 64
 
 // ctxPollInterval is how many retired instructions pass between context
 // polls in the run loops; a power of two so the check compiles to a
@@ -46,6 +52,12 @@ type Ring struct {
 	// architectural state at scheduled cycles without this package
 	// knowing anything about faults.
 	PreStep func(now int64)
+
+	// obs, when non-nil, receives the cycle-level event stream
+	// (internal/obsv). The run loop hoists the nil check so a disabled
+	// ring pays nothing; unit is this ring's index in its machine.
+	obs  obsv.Observer
+	unit int32
 
 	watchdog iss.Watchdog
 	disabled []bool // clusters fused off for degraded-mode operation
@@ -123,6 +135,11 @@ func newRing(cfg Config, m *mem.Memory, entry uint32, shared cache.Port) *Ring {
 // CPU exposes the architectural state (for examples and tests).
 func (r *Ring) CPU() *iss.CPU { return r.cpu }
 
+// SetObserver attaches o to this ring's cycle-level event stream; nil
+// detaches it. With no observer attached the step loop performs no
+// observability work at all.
+func (r *Ring) SetObserver(o obsv.Observer) { r.obs = o }
+
 // EnabledClusters reports how many clusters are currently usable.
 func (r *Ring) EnabledClusters() int { return r.enabled }
 
@@ -142,6 +159,9 @@ func (r *Ring) DisableCluster(i int) bool {
 	r.dropLoaded(i)
 	for j := 0; j < r.cfg.PEsPerCluster; j++ {
 		r.peFree[i*r.cfg.PEsPerCluster+j] = 0
+	}
+	if r.obs != nil {
+		r.obs.Emit(obsv.Event{Cycle: r.now, Kind: obsv.KindPEDisable, Unit: r.unit, Loc: int32(i)})
 	}
 	return true
 }
@@ -254,6 +274,9 @@ func (r *Ring) loadLine(base uint32, earliest int64, avoid int) (int, int64, int
 	cl := &r.clusters[victim]
 	if !cl.loaded {
 		r.loaded = append(r.loaded, victim)
+	} else if r.obs != nil {
+		r.obs.Emit(obsv.Event{Cycle: earliest, Kind: obsv.KindClusterEvict,
+			Unit: r.unit, Loc: int32(victim), Addr: cl.base})
 	}
 	// The victim must be free (all instructions complete) before reload.
 	start := earliest
@@ -279,6 +302,12 @@ func (r *Ring) loadLine(base uint32, earliest int64, avoid int) (int, int64, int
 	r.stats.LinesFetched++
 	// Structural delay: waiting for a free cluster or for the shared bus.
 	busDelay := (start - earliest) + (transfer - fetched)
+	if r.obs != nil {
+		r.obs.Emit(obsv.Event{Cycle: ready, Kind: obsv.KindClusterLoad,
+			Unit: r.unit, Loc: int32(victim), Addr: base, Val: busDelay})
+		r.obs.Emit(obsv.Event{Cycle: ready, Kind: obsv.KindPEEnable,
+			Unit: r.unit, Loc: int32(victim), Val: int64(r.cfg.PEsPerCluster)})
+	}
 	return victim, ready, busDelay
 }
 
@@ -308,6 +337,10 @@ func (r *Ring) Run() error { return r.RunContext(context.Background()) }
 func (r *Ring) RunContext(ctx context.Context) error {
 	cfg := r.cfg
 	done := ctx.Done()
+	// Hoist the observer nil check out of the inner loop (like the
+	// interrupt guard): with observability off the loop body carries
+	// only dead, perfectly predicted branches and zero allocations.
+	obs := r.obs
 	var ex iss.Exec // reused per-step scratch; StepInto overwrites it fully
 	r.ensure(r.cpu.PC, 0)
 	for steps := uint64(0); !r.cpu.Halted && r.stats.Retired < cfg.MaxInstructions; steps++ {
@@ -481,8 +514,16 @@ func (r *Ring) RunContext(ctx context.Context) error {
 			src := operandSrc{ready: done, pos: pos, isLoad: in.Op.IsLoad()}
 			if in.Op.FPRd() {
 				r.fpSrc[in.Rd] = src
+				if obs != nil {
+					obs.Emit(obsv.Event{Cycle: done, Kind: obsv.KindFLaneXfer,
+						Unit: r.unit, Loc: int32(pos), PC: pc, Val: int64(in.Rd)})
+				}
 			} else {
 				r.intSrc[in.Rd] = src
+				if obs != nil {
+					obs.Emit(obsv.Event{Cycle: done, Kind: obsv.KindLaneXfer,
+						Unit: r.unit, Loc: int32(pos), PC: pc, Val: int64(in.Rd)})
+				}
 			}
 			r.stats.LaneWrites++
 		}
@@ -500,6 +541,16 @@ func (r *Ring) RunContext(ctx context.Context) error {
 			r.stats.ALUOps++
 		}
 		r.stats.Retired++
+		if obs != nil {
+			// PC-lane retire, anchored execute-start → retire so the
+			// exporter can render it as a duration slice.
+			obs.Emit(obsv.Event{Cycle: retire, Kind: obsv.KindRetire,
+				Unit: r.unit, Loc: int32(ci), PC: pc, Addr: ex.MemAddr, Val: retire - start})
+			if steps&(obsSampleInterval-1) == 0 {
+				obs.Emit(obsv.Event{Cycle: r.now, Kind: obsv.KindClusterOccupancy,
+					Unit: r.unit, Val: int64(len(r.loaded))})
+			}
+		}
 
 		// ---- control flow ----
 		if ex.Taken {
@@ -514,6 +565,10 @@ func (r *Ring) RunContext(ctx context.Context) error {
 				// only the PC lane restarts (§4.3.2).
 				if backward {
 					r.stats.ReuseHits++
+					if obs != nil {
+						obs.Emit(obsv.Event{Cycle: done, Kind: obsv.KindClusterReuse,
+							Unit: r.unit, Loc: int32(ti), PC: pc, Addr: ex.NextPC})
+					}
 				}
 				rr := done + int64(r.cfg.RedirectCycles)
 				if ti != ci {

@@ -8,6 +8,7 @@ import (
 	"diag/internal/cache"
 	"diag/internal/isa"
 	"diag/internal/mem"
+	"diag/internal/obsv"
 )
 
 // Machine is a complete DiAG processor: one or more dataflow rings above
@@ -55,6 +56,7 @@ func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
 			shared = l2
 		}
 		r := newRing(cfg, m, entry, shared)
+		r.unit = int32(i)
 		r.cpu.X[isa.TP] = uint32(i)
 		r.cpu.X[isa.GP] = uint32(cfg.Rings)
 		mach.rings = append(mach.rings, r)
@@ -71,6 +73,15 @@ func (m *Machine) Mem() *mem.Memory { return m.mem }
 // Ring returns ring i (for single-thread runs, Ring(0) is the whole
 // machine).
 func (m *Machine) Ring(i int) *Ring { return m.rings[i] }
+
+// SetObserver attaches o to every ring's cycle-level event stream
+// (internal/obsv); events carry the ring index in their Unit field.
+// Must be called before Run; a nil o turns observability off.
+func (m *Machine) SetObserver(o obsv.Observer) {
+	for _, r := range m.rings {
+		r.SetObserver(o)
+	}
+}
 
 // Run executes every ring to completion and aggregates statistics.
 //

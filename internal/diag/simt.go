@@ -3,6 +3,7 @@ package diag
 import (
 	"diag/internal/isa"
 	"diag/internal/iss"
+	"diag/internal/obsv"
 )
 
 // simtRegion describes a statically validated pipelined loop (§4.4, §5.4).
@@ -190,6 +191,12 @@ func (r *Ring) runSIMT(ex iss.Exec) bool {
 		entry := start + thread*reg.interval
 		if rep[0] > entry {
 			entry = rep[0]
+		}
+		if r.obs != nil {
+			// Thread switch: the spawner injects iteration `thread` into
+			// replica `best` at cycle `entry` (§4.4.1).
+			r.obs.Emit(obsv.Event{Cycle: entry, Kind: obsv.KindSIMTThread,
+				Unit: r.unit, Loc: int32(best), Val: thread})
 		}
 		for s := 0; s < nStages; s++ {
 			if s > 0 {

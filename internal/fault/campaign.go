@@ -13,6 +13,7 @@ import (
 	"diag/internal/isa"
 	"diag/internal/iss"
 	"diag/internal/mem"
+	"diag/internal/obsv"
 	"diag/internal/ooo"
 	"diag/internal/stats"
 )
@@ -167,7 +168,7 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 
 	// Unfaulted timing run: differential sanity check plus the cycle
 	// window faults are scheduled in and the degraded-mode baseline.
-	base := c.runner(nil, dataAddr, dataLen, 0, 0)
+	base := c.runner(nil, dataAddr, dataLen, 0, 0, nil)
 	baseRes := base(ctx)
 	if baseRes.err != nil {
 		return nil, fmt.Errorf("fault: unfaulted run failed: %w", baseRes.err)
@@ -191,7 +192,7 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 
 	jobs := make([]exp.Job, trials)
 	for i := range jobs {
-		run := c.runner(faults[i], dataAddr, dataLen, maxInst, maxCycles)
+		run := c.runner(faults[i], dataAddr, dataLen, maxInst, maxCycles, nil)
 		jobs[i] = exp.Job{
 			Name: fmt.Sprintf("trial-%d", i),
 			Run: func(ctx context.Context) (any, error) {
@@ -274,9 +275,50 @@ func (c *Campaign) machineName() string {
 	return "ooo"
 }
 
+// Replay re-runs one trial of a finished campaign with an observer
+// attached, so a surprising outcome (an SDC, a hang) can be examined
+// cycle by cycle — typically with an obsv.Collector whose Chrome trace
+// is then opened in Perfetto. rep must come from Run on this campaign
+// (same image, machine, and seed); the replayed fault is the one the
+// report recorded, and the run uses the same reproducible budgets, so
+// the returned Trial matches rep.Trials[trial].
+func (c *Campaign) Replay(ctx context.Context, rep *Report, trial int, obs obsv.Observer) (Trial, error) {
+	if c.Image == nil {
+		return Trial{}, fmt.Errorf("fault: replay needs the campaign's image")
+	}
+	if (c.DiAG == nil) == (c.OoO == nil) {
+		return Trial{}, fmt.Errorf("fault: replay needs exactly one of DiAG/OoO")
+	}
+	if trial < 0 || trial >= len(rep.Trials) {
+		return Trial{}, fmt.Errorf("fault: trial %d out of range (report has %d)", trial, len(rep.Trials))
+	}
+	dataAddr, dataLen := c.dataRegion()
+
+	cap := uint64(500_000_000)
+	if c.DiAG != nil && c.DiAG.MaxInstructions > 0 {
+		cap = c.DiAG.MaxInstructions
+	}
+	if c.OoO != nil && c.OoO.MaxInstructions > 0 {
+		cap = c.OoO.MaxInstructions
+	}
+	golden, _, err := goldenRun(c.Image, cap)
+	if err != nil {
+		return Trial{}, fmt.Errorf("fault: golden run: %w", err)
+	}
+
+	// The same reproducible budgets Run derived.
+	maxInst := rep.GoldenInstret*4 + 10_000
+	maxCycles := rep.BaselineCycles*8 + 100_000
+	f := rep.Trials[trial].Fault
+	res := c.runner([]Fault{f}, dataAddr, dataLen, maxInst, maxCycles, obs)(ctx)
+	out, msg := classify(res, golden)
+	return Trial{Fault: f, Outcome: out, Injected: res.injected, Cycles: res.cycles, Err: msg}, nil
+}
+
 // runner builds a closure running one (possibly faulted) simulation.
-// Budgets of 0 keep the configuration's own values (unfaulted run).
-func (c *Campaign) runner(faults []Fault, dataAddr, dataLen uint32, maxInst uint64, maxCycles int64) func(context.Context) runResult {
+// Budgets of 0 keep the configuration's own values (unfaulted run). A
+// non-nil obs streams the run's cycle-level events (replay debugging).
+func (c *Campaign) runner(faults []Fault, dataAddr, dataLen uint32, maxInst uint64, maxCycles int64, obs obsv.Observer) func(context.Context) runResult {
 	img := c.Image
 	textLen := uint32(len(img.Text)) * 4
 	if c.DiAG != nil {
@@ -291,6 +333,9 @@ func (c *Campaign) runner(faults []Fault, dataAddr, dataLen uint32, maxInst uint
 			mach, err := diag.NewMachine(cfg, img)
 			if err != nil {
 				return runResult{err: err}
+			}
+			if obs != nil {
+				mach.SetObserver(obs)
 			}
 			ring := mach.Ring(0)
 			inj := NewInjector(Target{
@@ -322,6 +367,9 @@ func (c *Campaign) runner(faults []Fault, dataAddr, dataLen uint32, maxInst uint
 		mach, err := ooo.NewMachine(cfg, img)
 		if err != nil {
 			return runResult{err: err}
+		}
+		if obs != nil {
+			mach.SetObserver(obs)
 		}
 		core := mach.Core(0)
 		inj := NewInjector(Target{

@@ -70,7 +70,7 @@ func TestOutcomeClasses(t *testing.T) {
 		t.Fatalf("golden: %v", err)
 	}
 	dataAddr, dataLen := c.dataRegion()
-	base := c.runner(nil, dataAddr, dataLen, 0, 0)(context.Background())
+	base := c.runner(nil, dataAddr, dataLen, 0, 0, nil)(context.Background())
 	if base.err != nil {
 		t.Fatalf("unfaulted run: %v", base.err)
 	}
@@ -100,7 +100,7 @@ func TestOutcomeClasses(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res := c.runner([]Fault{tc.f}, dataAddr, dataLen, maxInst, maxCycles)(context.Background())
+			res := c.runner([]Fault{tc.f}, dataAddr, dataLen, maxInst, maxCycles, nil)(context.Background())
 			got, msg := classify(res, golden)
 			if got != tc.want {
 				t.Fatalf("fault %v classified %v (err %q), want %v", tc.f, got, msg, tc.want)
@@ -125,7 +125,7 @@ func TestEnableFaultRemapsAndCompletes(t *testing.T) {
 	}
 	dataAddr, dataLen := c.dataRegion()
 	f := Fault{Cycle: 3, Class: SiteEnable, Index: 0, StuckAt: -1}
-	res := c.runner([]Fault{f}, dataAddr, dataLen, 0, 0)(context.Background())
+	res := c.runner([]Fault{f}, dataAddr, dataLen, 0, 0, nil)(context.Background())
 	out, msg := classify(res, golden)
 	if out != Masked {
 		t.Fatalf("enable fault classified %v (err %q), want masked", out, msg)
@@ -286,7 +286,7 @@ func TestSelfCorrectingFaultMasked(t *testing.T) {
 		t.Fatalf("golden: %v", err)
 	}
 	dataAddr, dataLen := c.dataRegion()
-	base := c.runner(nil, dataAddr, dataLen, 0, 0)(context.Background())
+	base := c.runner(nil, dataAddr, dataLen, 0, 0, nil)(context.Background())
 	if base.err != nil {
 		t.Fatalf("unfaulted run: %v", base.err)
 	}
@@ -299,7 +299,7 @@ func TestSelfCorrectingFaultMasked(t *testing.T) {
 		{Cycle: mid, Class: SiteLane, Index: 5, Bit: 29, StuckAt: -1},
 		{Cycle: mid + 1, Class: SiteLane, Index: 5, Bit: 29, StuckAt: -1},
 	}
-	res := c.runner(faults, dataAddr, dataLen, uint64(20_000), base.cycles*8+100_000)(context.Background())
+	res := c.runner(faults, dataAddr, dataLen, uint64(20_000), base.cycles*8+100_000, nil)(context.Background())
 	if !res.injected {
 		t.Fatal("faults never injected")
 	}
@@ -325,7 +325,7 @@ func TestStalledHangFiresBeforeCycleBudget(t *testing.T) {
 	const budget = 10_000_000
 	cfg := diag.F4C2()
 	c := &Campaign{Image: img, DiAG: &cfg}
-	res := c.runner(nil, 0, 0, 0, budget)(context.Background())
+	res := c.runner(nil, 0, 0, 0, budget, nil)(context.Background())
 	if !errors.Is(res.err, diagerr.ErrStalled) {
 		t.Fatalf("run error = %v, want ErrStalled", res.err)
 	}

@@ -35,6 +35,37 @@ func TestCaseNamesUniqueAndResolvable(t *testing.T) {
 	}
 }
 
+// TestStepLoopsAllocationFree is the observability layer's
+// zero-overhead acceptance check: with no observer attached (the
+// default), the steady-state step loops of all three machine models
+// must not allocate. A failure here means something crept into the hot
+// path — most likely an emit or a capture that should have been behind
+// the hoisted nil-observer guard.
+func TestStepLoopsAllocationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-driven; skipped in -short")
+	}
+	for _, name := range []string{"iss/step", "diag/step", "ooo/step"} {
+		c, ok := CaseByName(name)
+		if !ok {
+			t.Fatalf("case %q missing", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			// The self-calibrated run reaches millions of steps, so
+			// one-time machine construction inside the timer (diag/ooo
+			// cases) amortizes to 0 allocs/op; any per-step allocation
+			// shows up as >= 1.
+			r := testing.Benchmark(c.Bench)
+			if r.N == 0 {
+				t.Fatal("benchmark failed (see log)")
+			}
+			if got := r.AllocsPerOp(); got != 0 {
+				t.Errorf("%s: %d allocs/op over %d steps, want 0", name, got, r.N)
+			}
+		})
+	}
+}
+
 func sampleReport(mips float64) *Report {
 	return &Report{
 		Schema: SchemaV1, GoVersion: "go0.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 8,

@@ -1,0 +1,185 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ChromeEvent is one entry of a Chrome trace-event JSON document (the
+// format Perfetto and chrome://tracing load). Only the subset this
+// package emits is modeled; Decode tolerates extra fields.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`            // phase: X, i, C, M
+	Ts   float64        `json:"ts"`            // microseconds; 1 simulated cycle = 1 µs
+	Dur  float64        `json:"dur,omitempty"` // X events only
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event document.
+type ChromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+}
+
+// ChromeTraceOptions customize the export.
+type ChromeTraceOptions struct {
+	// UnitNames labels the processes (one per Event.Unit); units past
+	// the slice fall back to "unit N". For a DiAG run pass ring names,
+	// for the baseline core names.
+	UnitNames []string
+}
+
+// trackOf maps an event to its thread track within the unit's process:
+// ring events use the cluster index; baseline pipeline events get one
+// track per stage; occupancy counters render on their own track id
+// (unused by counters, which Perfetto keys by name).
+func trackOf(e Event) int64 {
+	switch e.Kind {
+	case KindFetch:
+		return 0
+	case KindRename:
+		return 1
+	case KindIssue:
+		return 2
+	case KindWriteback:
+		return 3
+	case KindCommit:
+		return 4
+	case KindMispredict, KindFlush:
+		return 5
+	default:
+		return int64(e.Loc)
+	}
+}
+
+// chromeEvent converts one Event. Duration kinds (retire, commit)
+// become complete ("X") slices spanning execute-to-retire; occupancy
+// kinds become counter ("C") samples; everything else is an instant
+// ("i").
+func chromeEvent(e Event) ChromeEvent {
+	ce := ChromeEvent{
+		Name: e.Kind.String(),
+		Pid:  int64(e.Unit),
+		Tid:  trackOf(e),
+		Ts:   float64(e.Cycle),
+	}
+	switch {
+	case e.Kind == KindRetire || e.Kind == KindCommit:
+		dur := e.Val
+		if dur < 1 {
+			dur = 1
+		}
+		ce.Ph = "X"
+		ce.Ts = float64(e.Cycle - dur)
+		ce.Dur = float64(dur)
+		ce.Args = map[string]any{"pc": fmt.Sprintf("0x%x", e.PC)}
+	case e.Kind.Occupancy():
+		ce.Ph = "C"
+		ce.Args = map[string]any{"value": e.Val}
+	default:
+		ce.Ph = "i"
+		ce.S = "t"
+		args := map[string]any{}
+		if e.PC != 0 {
+			args["pc"] = fmt.Sprintf("0x%x", e.PC)
+		}
+		if e.Addr != 0 {
+			args["addr"] = fmt.Sprintf("0x%x", e.Addr)
+		}
+		if e.Val != 0 {
+			args["val"] = e.Val
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+	}
+	return ce
+}
+
+// WriteChromeTrace exports the collector's retained events as a Chrome
+// trace-event JSON document: one process per unit (ring/core), one
+// thread track per cluster or pipeline stage, counter tracks for the
+// occupancy gauges. Timestamps are simulated cycles rendered as
+// microseconds. Load the file at https://ui.perfetto.dev or
+// chrome://tracing.
+func (c *Collector) WriteChromeTrace(w io.Writer, opt ChromeTraceOptions) error {
+	doc := ChromeTrace{DisplayTimeUnit: "ns"}
+	// Process-name metadata for every unit present in the stream, in
+	// unit order so the export is deterministic byte for byte.
+	seen := map[int32]bool{}
+	var units []int32
+	for i := range c.events {
+		if u := c.events[i].Unit; !seen[u] {
+			seen[u] = true
+			units = append(units, u)
+		}
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	for _, u := range units {
+		name := fmt.Sprintf("unit %d", u)
+		if int(u) < len(opt.UnitNames) {
+			name = opt.UnitNames[u]
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: "process_name", Ph: "M", Pid: int64(u),
+			Args: map[string]any{"name": name},
+		})
+	}
+	for i := range c.events {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent(c.events[i]))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// DecodeChromeTrace parses a Chrome trace-event JSON document (the
+// object form with a traceEvents array).
+func DecodeChromeTrace(r io.Reader) (*ChromeTrace, error) {
+	var doc ChromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("obsv: decoding chrome trace: %w", err)
+	}
+	return &doc, nil
+}
+
+// Validate checks the document against the trace-event schema subset
+// this package emits: a known displayTimeUnit, at least one event, and
+// per-event phase/timestamp/track sanity. It returns the first
+// violation found.
+func (t *ChromeTrace) Validate() error {
+	if t.DisplayTimeUnit != "ns" && t.DisplayTimeUnit != "ms" {
+		return fmt.Errorf("obsv: displayTimeUnit %q (want ns or ms)", t.DisplayTimeUnit)
+	}
+	if len(t.TraceEvents) == 0 {
+		return fmt.Errorf("obsv: trace has no events")
+	}
+	for i, e := range t.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue // metadata carries no timestamp
+		case "X", "i", "C", "B", "E":
+		default:
+			return fmt.Errorf("obsv: event %d: unknown phase %q", i, e.Ph)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("obsv: event %d: missing name", i)
+		}
+		if e.Ts < 0 {
+			return fmt.Errorf("obsv: event %d (%s): negative ts %v", i, e.Name, e.Ts)
+		}
+		if e.Pid < 0 || e.Tid < 0 {
+			return fmt.Errorf("obsv: event %d (%s): negative pid/tid %d/%d", i, e.Name, e.Pid, e.Tid)
+		}
+		if e.Ph == "X" && e.Dur < 0 {
+			return fmt.Errorf("obsv: event %d (%s): negative dur %v", i, e.Name, e.Dur)
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"diag/internal/isa"
 	"diag/internal/iss"
 	"diag/internal/mem"
+	"diag/internal/obsv"
 )
 
 // Stats aggregates one core's (or one machine's) execution counters.
@@ -172,9 +173,16 @@ type Core struct {
 	prevRetire  int64
 	retireInGrp int
 
+	obs  obsv.Observer // nil = observability off (the default)
+	unit int32         // core index, stamped into every emitted event
+
 	now   int64
 	stats Stats
 }
+
+// SetObserver attaches o to the core's cycle-level event stream
+// (internal/obsv). Must be called before Run; nil turns it off.
+func (c *Core) SetObserver(o obsv.Observer) { c.obs = o }
 
 // newCore builds one core above the shared port.
 func newCore(cfg Config, m *mem.Memory, entry uint32, shared cache.Port) *Core {
@@ -234,6 +242,11 @@ func (c *Core) pool(op isa.Op) *fuPool {
 // is a mask), keeping cancellation latency well under a millisecond.
 const ctxPollInterval = 4096
 
+// obsSampleInterval is the occupancy sampling cadence when an observer
+// is attached: every 64 retired instructions (mask test, like the
+// context poll) the core reports ROB/IQ/LSQ occupancy.
+const obsSampleInterval = 64
+
 // Run executes the core's thread to completion.
 func (c *Core) Run() error { return c.RunContext(context.Background()) }
 
@@ -243,6 +256,10 @@ func (c *Core) Run() error { return c.RunContext(context.Background()) }
 func (c *Core) RunContext(ctx context.Context) error {
 	cfg := c.cfg
 	done := ctx.Done()
+	// Hoist the observer nil check out of the inner loop (like the
+	// interrupt guard in the DiAG ring): with observability off the hot
+	// path pays one register compare, no interface dispatch.
+	obs := c.obs
 	var ex iss.Exec // reused per-step scratch; StepInto overwrites it fully
 	for steps := uint64(0); !c.cpu.Halted && c.stats.Retired < cfg.MaxInstructions; steps++ {
 		if steps&(ctxPollInterval-1) == 0 {
@@ -408,12 +425,44 @@ func (c *Core) RunContext(ctx context.Context) error {
 			c.stats.RegWrites++
 		}
 		c.stats.Retired++
+		if obs != nil {
+			// One event per pipeline stage the instruction passed through,
+			// each stamped with the cycle it cleared that stage.
+			obs.Emit(obsv.Event{Cycle: fetchDone, Kind: obsv.KindFetch, Unit: c.unit, PC: pc})
+			obs.Emit(obsv.Event{Cycle: dispatch, Kind: obsv.KindRename, Unit: c.unit, PC: pc})
+			obs.Emit(obsv.Event{Cycle: start, Kind: obsv.KindIssue, Unit: c.unit, PC: pc})
+			obs.Emit(obsv.Event{Cycle: done, Kind: obsv.KindWriteback, Unit: c.unit, PC: pc})
+			obs.Emit(obsv.Event{Cycle: retire, Kind: obsv.KindCommit, Unit: c.unit,
+				PC: pc, Addr: ex.MemAddr, Val: retire - start})
+			if steps&(obsSampleInterval-1) == 0 {
+				c.emitOccupancy(obs, dispatch)
+			}
+		}
 	}
 	if !c.cpu.Halted && c.stats.Retired >= cfg.MaxInstructions {
 		return diagerr.Wrap(diagerr.ErrMaxInstructions,
 			"ooo: instruction cap %d reached before halt", cfg.MaxInstructions)
 	}
 	return nil
+}
+
+// emitOccupancy reports how many ROB/IQ/LSQ entries are still in flight
+// at the dispatch cycle: a ring slot whose completion time lies in the
+// future holds a live instruction, so the count of such slots is the
+// structure's occupancy (the same convention the dispatch stalls use).
+func (c *Core) emitOccupancy(obs obsv.Observer, now int64) {
+	occ := func(ring []int64) int64 {
+		var n int64
+		for _, t := range ring {
+			if t > now {
+				n++
+			}
+		}
+		return n
+	}
+	obs.Emit(obsv.Event{Cycle: now, Kind: obsv.KindROBOccupancy, Unit: c.unit, Val: occ(c.retireAt)})
+	obs.Emit(obsv.Event{Cycle: now, Kind: obsv.KindIQOccupancy, Unit: c.unit, Val: occ(c.issueTimes)})
+	obs.Emit(obsv.Event{Cycle: now, Kind: obsv.KindLSQOccupancy, Unit: c.unit, Val: occ(c.lsqTimes)})
 }
 
 // resolveControl models prediction and redirects for the branch/jump that
@@ -476,6 +525,12 @@ func (c *Core) resolveControl(pc uint32, ex iss.Exec, done int64) {
 		// Wrong-path fetch energy estimate: the frontend ran from the
 		// branch's fetch until resolution.
 		c.stats.FetchedInsts += uint64(c.cfg.FetchWidth)
+		if c.obs != nil {
+			c.obs.Emit(obsv.Event{Cycle: done, Kind: obsv.KindMispredict,
+				Unit: c.unit, PC: pc, Addr: ex.NextPC})
+			c.obs.Emit(obsv.Event{Cycle: done + refill, Kind: obsv.KindFlush,
+				Unit: c.unit, PC: pc, Val: refill})
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"diag/internal/cache"
 	"diag/internal/isa"
 	"diag/internal/mem"
+	"diag/internal/obsv"
 )
 
 // Machine is the complete baseline: Cores out-of-order cores above a
@@ -51,6 +52,7 @@ func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
 			shared = l2
 		}
 		core := newCore(cfg, m, entry, shared)
+		core.unit = int32(i)
 		core.cpu.X[isa.TP] = uint32(i)
 		core.cpu.X[isa.GP] = uint32(cfg.Cores)
 		mach.cores = append(mach.cores, core)
@@ -66,6 +68,15 @@ func (m *Machine) Mem() *mem.Memory { return m.mem }
 
 // Core returns core i.
 func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// SetObserver attaches o to every core's cycle-level event stream
+// (internal/obsv); events carry the core index in their Unit field.
+// Must be called before Run; a nil o turns observability off.
+func (m *Machine) SetObserver(o obsv.Observer) {
+	for _, c := range m.cores {
+		c.SetObserver(o)
+	}
+}
 
 // Run executes every core to completion; see diag.Machine.Run for the
 // data-parallel soundness argument.

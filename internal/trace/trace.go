@@ -8,6 +8,11 @@
 //	mach.Ring(0).CPU().Hook = rec.Record
 //	mach.Run()
 //	fmt.Print(rec.Format())
+//
+// A Recorder is an architectural (instruction-level) trace. For
+// cycle-level visibility — cluster loads, lane transfers, pipeline
+// stages, occupancy — attach an internal/obsv Observer to the machine
+// and export a Chrome trace instead.
 package trace
 
 import (
@@ -80,9 +85,14 @@ func (r *Recorder) Events() []iss.Exec {
 
 // Format renders the retained window, one instruction per line:
 // address, assembly, and annotations for taken branches and memory
-// effective addresses.
+// effective addresses. When the stream outgrew the window, a header
+// line states how much of it the window shows, so a truncated trace is
+// never mistaken for the whole run.
 func (r *Recorder) Format() string {
 	var b strings.Builder
+	if r.total > uint64(len(r.ring)) {
+		fmt.Fprintf(&b, "(showing last %d of %d)\n", len(r.ring), r.total)
+	}
 	for _, e := range r.Events() {
 		fmt.Fprintf(&b, "%08x:  %-36s", e.PC, e.Inst.String())
 		switch {

@@ -89,6 +89,24 @@ func TestFormat(t *testing.T) {
 	}
 }
 
+// TestFormatTruncationHeader: a window smaller than the stream must
+// say so; a window that held everything must not.
+func TestFormatTruncationHeader(t *testing.T) {
+	rec := runTraced(t, loopSrc, 4) // 32 retired, 4 retained
+	out := rec.Format()
+	if !strings.HasPrefix(out, "(showing last 4 of 32)\n") {
+		t.Errorf("truncated format missing header:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Errorf("truncated format has %d lines, want 5 (header + 4 events)", got)
+	}
+
+	full := runTraced(t, loopSrc, 100) // window larger than the stream
+	if strings.Contains(full.Format(), "showing last") {
+		t.Errorf("untruncated format must not claim truncation:\n%s", full.Format())
+	}
+}
+
 func TestEmptyRecorder(t *testing.T) {
 	rec := NewRecorder(0) // clamped to 1
 	if rec.Total() != 0 || rec.TakenRate() != 0 {

@@ -1,0 +1,85 @@
+package diag
+
+import "diag/internal/obsv"
+
+// ---- Cycle-level observability ----
+//
+// The observability layer (internal/obsv) streams typed
+// microarchitectural events out of both timing machines while they run:
+// cluster loads, evictions, and reuse hits, register-lane transfers,
+// PE enable/disable, PC-lane retires, and SIMT thread injection on the
+// DiAG ring; fetch/rename/issue/writeback/commit, mispredicts, flushes,
+// and sampled ROB/IQ/LSQ occupancy on the out-of-order baseline.
+// Attach an observer with WithObserver; with none attached the hot step
+// loops pay a single nil check and allocate nothing.
+
+// Observer consumes the cycle-level event stream of a run; attach one
+// with WithObserver. Implementations must tolerate non-monotonic event
+// cycles (dataflow timestamps resolve out of retirement order).
+type Observer = obsv.Observer
+
+// Event is one cycle-level observation; the meaning of its Loc, Addr,
+// and Val fields is documented per EventKind in internal/obsv.
+type Event = obsv.Event
+
+// EventKind identifies one entry of the event taxonomy (see
+// docs/OBSERVABILITY.md for the full list and field conventions).
+type EventKind = obsv.Kind
+
+// The event taxonomy. DiAG ring kinds first, then the out-of-order
+// pipeline kinds, then the sampled occupancy gauges; see internal/obsv
+// for each kind's Loc/Addr/Val conventions.
+const (
+	EventClusterLoad      = obsv.KindClusterLoad
+	EventClusterEvict     = obsv.KindClusterEvict
+	EventClusterReuse     = obsv.KindClusterReuse
+	EventLaneXfer         = obsv.KindLaneXfer
+	EventFLaneXfer        = obsv.KindFLaneXfer
+	EventPEEnable         = obsv.KindPEEnable
+	EventPEDisable        = obsv.KindPEDisable
+	EventRetire           = obsv.KindRetire
+	EventSIMTThread       = obsv.KindSIMTThread
+	EventFetch            = obsv.KindFetch
+	EventRename           = obsv.KindRename
+	EventIssue            = obsv.KindIssue
+	EventWriteback        = obsv.KindWriteback
+	EventCommit           = obsv.KindCommit
+	EventMispredict       = obsv.KindMispredict
+	EventFlush            = obsv.KindFlush
+	EventClusterOccupancy = obsv.KindClusterOccupancy
+	EventROBOccupancy     = obsv.KindROBOccupancy
+	EventIQOccupancy      = obsv.KindIQOccupancy
+	EventLSQOccupancy     = obsv.KindLSQOccupancy
+)
+
+// EventCollector retains the event stream in memory with per-kind
+// counts and a retention bound, and exports it as a Chrome trace-event
+// JSON document loadable in Perfetto (WriteChromeTrace).
+type EventCollector = obsv.Collector
+
+// Metrics is the registry side of the observability layer: counters,
+// gauges, interval histograms, and a downsampled occupancy timeseries,
+// all derived from the event stream and snapshotable mid-run.
+type Metrics = obsv.Registry
+
+// MetricsSnapshot is a deep, immutable copy of a Metrics registry taken
+// mid-run or after it.
+type MetricsSnapshot = obsv.Snapshot
+
+// ChromeTraceOptions customize EventCollector.WriteChromeTrace (unit
+// naming for the Perfetto process tracks).
+type ChromeTraceOptions = obsv.ChromeTraceOptions
+
+// NewEventCollector returns a collector retaining up to limit events;
+// limit <= 0 selects the default bound (obsv.DefaultCollectorLimit).
+func NewEventCollector(limit int) *EventCollector { return obsv.NewCollector(limit) }
+
+// NewMetrics returns an empty metrics registry whose occupancy
+// timeseries keeps at most one sample per series per sampleEvery
+// cycles; sampleEvery <= 0 selects the default of 256.
+func NewMetrics(sampleEvery int64) *Metrics { return obsv.NewRegistry(sampleEvery) }
+
+// ObserverTee duplicates the event stream to every non-nil target —
+// typically an EventCollector plus a Metrics registry. A tee of no
+// targets is nil, which WithObserver treats as observability off.
+func ObserverTee(os ...Observer) Observer { return obsv.Tee(os...) }

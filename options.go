@@ -9,6 +9,7 @@ import (
 	idiag "diag/internal/diag"
 	"diag/internal/diagerr"
 	"diag/internal/exp"
+	"diag/internal/obsv"
 	"diag/internal/ooo"
 	"diag/internal/trace"
 )
@@ -60,6 +61,7 @@ type runOpts struct {
 	maxInst    uint64
 	trace      io.Writer
 	traceDepth int
+	obs        obsv.Observer
 }
 
 // WithContext runs the machine under ctx: cancellation aborts the
@@ -109,6 +111,23 @@ func WithTraceDepth(n int) RunOption {
 	}
 }
 
+// WithObserver attaches a cycle-level event observer to the run: every
+// ring (or baseline core) streams its microarchitectural events —
+// cluster loads and reuse, lane transfers, retires, pipeline stages,
+// mispredicts, sampled occupancies — to obs while the machine executes.
+// Combine an EventCollector (for Perfetto export) with a Metrics
+// registry via ObserverTee:
+//
+//	col := diag.NewEventCollector(0)
+//	met := diag.NewMetrics(0)
+//	st, _, err := diag.Run(cfg, p, diag.WithObserver(diag.ObserverTee(col, met)))
+//
+// A nil obs leaves observability off (the default), which costs the hot
+// step loops nothing. See docs/OBSERVABILITY.md for the event taxonomy.
+func WithObserver(obs Observer) RunOption {
+	return func(o *runOpts) { o.obs = obs }
+}
+
 // applyOptions folds opts into a resolved option set and the run's
 // context (with any WithTimeout deadline attached). Callers must defer
 // the returned cancel.
@@ -135,6 +154,9 @@ func runDiAGMachine(ctx context.Context, o runOpts, cfg Config, p *Program) (Sta
 	mach, err := idiag.NewMachine(cfg, p)
 	if err != nil {
 		return Stats{}, nil, err
+	}
+	if o.obs != nil {
+		mach.SetObserver(o.obs)
 	}
 	var rec *trace.Recorder
 	if o.trace != nil {
@@ -166,6 +188,9 @@ func runBaselineMachine(ctx context.Context, o runOpts, cfg BaselineConfig, p *P
 	mach, err := ooo.NewMachine(cfg, p)
 	if err != nil {
 		return BaselineStats{}, nil, err
+	}
+	if o.obs != nil {
+		mach.SetObserver(o.obs)
 	}
 	var rec *trace.Recorder
 	if o.trace != nil {
