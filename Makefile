@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke difftest-smoke docs-check trace-smoke
+.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke difftest-smoke docs-check trace-smoke snap-smoke api-check
 
 all: build vet test
 
@@ -80,6 +80,23 @@ trace-smoke:
 	/tmp/diag-trace -kernel pathfinder -machine ooo -o /tmp/ooo.json
 	/tmp/diag-trace -validate /tmp/ring.json
 	/tmp/diag-trace -validate /tmp/ooo.json
+
+# Checkpoint/restore smoke: the stability property (run straight ==
+# save at N/2 + restore + run the rest) on three kernels for each of the
+# three machine models, the snapshot codec suite, and the diag-trace
+# -from-cycle path that exercises checkpointing end to end from a tool.
+snap-smoke:
+	$(GO) test -run 'TestTargetStability/(iss|F4C2|ooo)/(pathfinder|nw|hotspot)' -count=1 -v . | tail -25
+	$(GO) test -count=1 ./internal/snap/
+	$(GO) build -o /tmp/diag-trace ./cmd/diag-trace
+	/tmp/diag-trace -kernel pathfinder -from-cycle 30000 -o /tmp/tail.json
+	/tmp/diag-trace -validate /tmp/tail.json
+
+# Public-API compatibility: the exported surface of package diag must
+# match testdata/api.txt; regenerate deliberately with
+#   go test -run TestAPISurface -update-api .
+api-check:
+	$(GO) test -run TestAPISurface -count=1 .
 
 cover:
 	$(GO) test -cover ./...

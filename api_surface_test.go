@@ -1,0 +1,224 @@
+package diag_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api.txt from the current exported surface")
+
+// TestAPISurface pins the package's public API. It renders every
+// exported symbol — functions, methods, types with their exported
+// fields and interface methods, constants, and variables — and compares
+// the sorted list against testdata/api.txt. Any surface change
+// (addition, removal, or signature edit) fails until the golden file is
+// regenerated with
+//
+//	go test -run TestAPISurface -update-api .
+//
+// which makes API breaks deliberate, reviewable diffs instead of
+// accidents.
+func TestAPISurface(t *testing.T) {
+	got := strings.Join(exportedSurface(t), "\n") + "\n"
+	const golden = "testdata/api.txt"
+	if *updateAPI {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing API golden file (regenerate with -update-api): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimRight(string(want), "\n"), "\n")
+	for _, l := range diffLines(wantLines, gotLines) {
+		t.Error(l)
+	}
+	t.Fatalf("exported API surface changed; if intentional, rerun with -update-api and review the %s diff", golden)
+}
+
+// exportedSurface renders one sorted line per exported symbol of the
+// root package.
+func exportedSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["diag"]
+	if !ok {
+		t.Fatal("package diag not found")
+	}
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				lines = append(lines, funcLines(fset, d)...)
+			case *ast.GenDecl:
+				lines = append(lines, genLines(fset, d)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// funcLines renders an exported function or an exported method on an
+// exported receiver type.
+func funcLines(fset *token.FileSet, d *ast.FuncDecl) []string {
+	if !d.Name.IsExported() {
+		return nil
+	}
+	if d.Recv != nil {
+		if name, ok := recvTypeName(d.Recv); !ok || !ast.IsExported(name) {
+			return nil
+		}
+	}
+	stripped := &ast.FuncDecl{Recv: d.Recv, Name: d.Name, Type: d.Type}
+	return []string{render(fset, stripped)}
+}
+
+// genLines renders the exported names of a const, var, or type
+// declaration. Struct fields and interface methods are part of the
+// surface too: adding or removing one is as breaking as renaming a
+// function.
+func genLines(fset *token.FileSet, d *ast.GenDecl) []string {
+	var lines []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if !n.IsExported() {
+					continue
+				}
+				line := fmt.Sprintf("%s %s", d.Tok, n.Name)
+				if s.Type != nil {
+					line += " " + render(fset, s.Type)
+				}
+				lines = append(lines, line)
+			}
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			lines = append(lines, typeLines(fset, s)...)
+		}
+	}
+	return lines
+}
+
+// typeLines renders one exported type: its own line plus one line per
+// exported struct field or interface method.
+func typeLines(fset *token.FileSet, s *ast.TypeSpec) []string {
+	eq := ""
+	if s.Assign.IsValid() {
+		eq = "= "
+	}
+	switch tt := s.Type.(type) {
+	case *ast.StructType:
+		lines := []string{fmt.Sprintf("type %s struct", s.Name.Name)}
+		for _, f := range tt.Fields.List {
+			ft := render(fset, f.Type)
+			if len(f.Names) == 0 { // embedded
+				lines = append(lines, fmt.Sprintf("type %s struct: %s (embedded)", s.Name.Name, ft))
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					lines = append(lines, fmt.Sprintf("type %s struct: %s %s", s.Name.Name, n.Name, ft))
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{fmt.Sprintf("type %s interface", s.Name.Name)}
+		for _, m := range tt.Methods.List {
+			if len(m.Names) == 0 {
+				lines = append(lines, fmt.Sprintf("type %s interface: %s (embedded)", s.Name.Name, render(fset, m.Type)))
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					lines = append(lines, fmt.Sprintf("type %s interface: %s%s", s.Name.Name, n.Name, strings.TrimPrefix(render(fset, m.Type), "func")))
+				}
+			}
+		}
+		return lines
+	default:
+		return []string{fmt.Sprintf("type %s %s%s", s.Name.Name, eq, render(fset, s.Type))}
+	}
+}
+
+// recvTypeName unwraps a method receiver to its type name.
+func recvTypeName(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) != 1 {
+		return "", false
+	}
+	expr := recv.List[0].Type
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	if g, ok := expr.(*ast.IndexExpr); ok {
+		expr = g.X
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+var wsRun = regexp.MustCompile(`\s+`)
+
+// render prints an AST node as single-line normalized source.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return wsRun.ReplaceAllString(buf.String(), " ")
+}
+
+// diffLines reports the symmetric difference between the golden and
+// current surface, labeled by direction.
+func diffLines(want, got []string) []string {
+	w := map[string]bool{}
+	for _, l := range want {
+		w[l] = true
+	}
+	g := map[string]bool{}
+	for _, l := range got {
+		g[l] = true
+	}
+	var out []string
+	for _, l := range want {
+		if !g[l] {
+			out = append(out, "removed from API: "+l)
+		}
+	}
+	for _, l := range got {
+		if !w[l] {
+			out = append(out, "added to API: "+l)
+		}
+	}
+	return out
+}

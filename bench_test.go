@@ -147,11 +147,11 @@ loop:
 	b.ResetTimer()
 	var retired uint64
 	for i := 0; i < b.N; i++ {
-		st, _, err := diag.RunBaseline(diag.Baseline(), img)
+		res, err := diag.OoO(diag.Baseline()).Run(img)
 		if err != nil {
 			b.Fatal(err)
 		}
-		retired = st.Retired
+		retired = res.Retired
 	}
 	b.ReportMetric(float64(retired)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
 }

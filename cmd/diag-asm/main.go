@@ -14,12 +14,14 @@ import (
 	"os"
 
 	"diag/internal/asm"
+	"diag/internal/cliutil"
 )
 
 func main() {
-	out := flag.String("o", "", "write raw text-section words to this file")
+	core := cliutil.Flags(flag.CommandLine)
 	quiet := flag.Bool("q", false, "suppress the listing")
 	flag.Parse()
+	out := core.Out
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: diag-asm [-o out.bin] [-q] prog.s")
 		os.Exit(2)

@@ -18,12 +18,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
-	"runtime"
 	"time"
 
 	"diag/internal/bench"
+	"diag/internal/cliutil"
 	"diag/internal/exp"
 )
 
@@ -31,6 +32,7 @@ import (
 var order = []string{"9a", "9b", "10a", "10b", "11", "12"}
 
 func main() {
+	core := cliutil.Flags(flag.CommandLine)
 	fig := flag.String("fig", "", "figure to regenerate: 9a, 9b, 10a, 10b, 11, 12")
 	stalls := flag.Bool("stalls", false, "regenerate the §7.3.2 stall breakdown")
 	all := flag.Bool("all", false, "regenerate every figure and the stall breakdown")
@@ -38,8 +40,6 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of a text table")
 	sweep := flag.String("sweep", "", "PE-scaling sweep for one workload (§7.2.1 saturation)")
 	list := flag.Bool("list", false, "list the benchmark kernels")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count (1 = serial)")
-	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
 	progress := flag.Bool("progress", true, "report live per-simulation progress on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -64,9 +64,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	w, err := core.Output()
+	if err != nil {
+		fatal(err)
+	}
+	defer w.Close()
+
 	runner := bench.NewRunner(ctx, bench.Options{
-		Workers:    *parallel,
-		Timeout:    *timeout,
+		Workers:    *core.Parallel,
+		Timeout:    *core.Timeout,
 		OnProgress: progressFunc(*progress),
 	})
 
@@ -89,27 +95,27 @@ func main() {
 	case *hb.run || *hb.convert != "":
 		runHostbench(hb)
 	case *list:
-		fmt.Println(bench.Describe())
+		fmt.Fprintln(w, bench.Describe())
 	case *sweep != "":
 		fig, err := runner.ScalingSweep(*sweep, []int{2, 4, 8, 16, 32, 64}, *scale)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(render(fig))
+		fmt.Fprintln(w, render(fig))
 	case *all:
 		for _, id := range order {
-			emit(figures[id], *scale, render)
+			emit(w, figures[id], *scale, render)
 		}
-		emit(runner.StallBreakdown, *scale, render)
+		emit(w, runner.StallBreakdown, *scale, render)
 	case *stalls:
-		emit(runner.StallBreakdown, *scale, render)
+		emit(w, runner.StallBreakdown, *scale, render)
 	case *fig != "":
 		f, ok := figures[*fig]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "diag-bench: unknown figure %q\n", *fig)
 			os.Exit(2)
 		}
-		emit(f, *scale, render)
+		emit(w, f, *scale, render)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -137,12 +143,12 @@ func progressFunc(enabled bool) func(exp.Progress) {
 	}
 }
 
-func emit(f func(int) (*bench.Figure, error), scale int, render func(*bench.Figure) string) {
+func emit(w io.Writer, f func(int) (*bench.Figure, error), scale int, render func(*bench.Figure) string) {
 	fig, err := f(scale)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println(render(fig))
+	fmt.Fprintln(w, render(fig))
 }
 
 func fatal(err error) {

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"diag/internal/cliutil"
 	"diag/internal/diag"
 	"diag/internal/difftest"
 	"diag/internal/obsv"
@@ -37,12 +38,11 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "campaign seed; equal seeds replay identical campaigns")
+	core := cliutil.Flags(flag.CommandLine)
 	n := flag.Int("n", 200, "number of generated programs")
 	archMatrix := flag.String("arch-matrix", "all", "comma-separated matrix columns (golden iss always included)")
 	shrink := flag.Bool("shrink", true, "delta-debug each divergent program to a minimal reproducer")
 	emitTest := flag.Bool("emit-test", false, "print minimized repros as Go corpus-entry source after the report")
-	parallel := flag.Int("parallel", 0, "concurrent trial runners (0 = GOMAXPROCS; the report is identical at any value)")
 	maxAtoms := flag.Int("max-atoms", 0, "program size knob: body atoms per generated program (0 = default)")
 	traceDir := flag.String("trace-dir", "", "re-run each divergent reproducer with observability on and write Chrome traces (ring + ooo) into this directory")
 	listArchs := flag.Bool("list-archs", false, "print the matrix columns and exit")
@@ -59,13 +59,15 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	ctx, cancel := core.Context(ctx)
+	defer cancel()
 
 	opt := difftest.Options{
-		Seed:    *seed,
+		Seed:    *core.Seed,
 		Trials:  *n,
 		Archs:   *archMatrix,
 		Shrink:  *shrink,
-		Workers: *parallel,
+		Workers: *core.Parallel,
 		Gen:     difftest.GenOptions{MaxAtoms: *maxAtoms},
 	}
 
@@ -74,7 +76,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(rep.Format())
+	w, err := core.Output()
+	if err != nil {
+		fatal(err)
+	}
+	defer w.Close()
+	fmt.Fprint(w, rep.Format())
 
 	if *emitTest {
 		for _, tr := range rep.Diverged {
@@ -83,8 +90,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "diag-difftest: trial %d: %v\n", tr.Trial, err)
 				continue
 			}
-			fmt.Println()
-			fmt.Print(src)
+			fmt.Fprintln(w)
+			fmt.Fprint(w, src)
 		}
 	}
 	if *verbose {

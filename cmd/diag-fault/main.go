@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"diag/internal/asm"
+	"diag/internal/cliutil"
 	"diag/internal/diag"
 	"diag/internal/fault"
 	"diag/internal/mem"
@@ -33,12 +34,11 @@ import (
 )
 
 func main() {
+	core := cliutil.Flags(flag.CommandLine)
 	machine := flag.String("machine", "F4C2", "I4C2, F4C2, F4C16, F4C32, or ooo")
 	sites := flag.String("sites", "", "comma-separated site classes (lane,flane,pc,ibuf,enable,mem,rob,iq; default: all the machine has)")
 	n := flag.Int("n", 100, "number of faulted trials")
-	seed := flag.Int64("seed", 1, "campaign seed; equal seeds replay identical campaigns")
-	parallel := flag.Int("parallel", 0, "concurrent trial runners (0 = GOMAXPROCS; the report is identical at any value)")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget per trial, classified as hang (0 = none)")
+	warmup := flag.Uint64("warmup", 0, "checkpoint the unfaulted machine after N retired instructions and fork eligible trials from it (0 = off; the report is identical either way)")
 	workload := flag.String("workload", "", "run a named benchmark instead of a file")
 	scale := flag.Int("scale", 1, "workload problem-size knob")
 	degrade := flag.Int("degrade", -1, "sweep 0..K disabled clusters instead of injecting faults (DiAG only)")
@@ -63,7 +63,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		points, err := fault.Degradation(ctx, cfg, img, *degrade, *parallel)
+		points, err := fault.Degradation(ctx, cfg, img, *degrade, *core.Parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -74,9 +74,10 @@ func main() {
 	c := &fault.Campaign{
 		Image:   img,
 		Trials:  *n,
-		Seed:    *seed,
-		Workers: *parallel,
-		Timeout: *timeout,
+		Seed:    *core.Seed,
+		Workers: *core.Parallel,
+		Timeout: *core.Timeout,
+		Warmup:  *warmup,
 	}
 	if strings.EqualFold(*machine, "ooo") {
 		cfg := ooo.Baseline()
@@ -101,15 +102,20 @@ func main() {
 		fatal(err)
 	}
 	rep.Workload = label
-	fmt.Print(rep.Table())
+	w, err := core.Output()
+	if err != nil {
+		fatal(err)
+	}
+	defer w.Close()
+	fmt.Fprint(w, rep.Table())
 	if *verbose {
-		fmt.Println()
+		fmt.Fprintln(w)
 		for i, t := range rep.Trials {
 			note := ""
 			if !t.Injected {
 				note = "  (never fired)"
 			}
-			fmt.Printf("%4d  %-40s -> %s%s\n", i, t.Fault, t.Outcome, note)
+			fmt.Fprintf(w, "%4d  %-40s -> %s%s\n", i, t.Fault, t.Outcome, note)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "diag-fault: %d trials in %v\n", len(rep.Trials), time.Since(start).Round(time.Millisecond))

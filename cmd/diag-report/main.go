@@ -10,35 +10,45 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"diag/internal/bench"
+	"diag/internal/cliutil"
 	"diag/internal/diag"
 )
 
 func main() {
+	core := cliutil.Flags(flag.CommandLine)
 	t1 := flag.Bool("table1", false, "Table 1: stage comparison with an OoO processor")
 	t2 := flag.Bool("table2", false, "Table 2: evaluated configurations")
 	t3 := flag.Bool("table3", false, "Table 3: area and power breakdown")
 	org := flag.String("org", "", "Figure 8-style organization dump of a configuration")
 	flag.Parse()
 
+	w, err := core.Output()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diag-report:", err)
+		os.Exit(1)
+	}
+	defer w.Close()
+
 	any := false
 	if *t1 {
-		fmt.Println(bench.Table1())
+		fmt.Fprintln(w, bench.Table1())
 		any = true
 	}
 	if *t2 {
-		fmt.Println(bench.Table2())
+		fmt.Fprintln(w, bench.Table2())
 		any = true
 	}
 	if *t3 {
-		fmt.Println(bench.Table3())
+		fmt.Fprintln(w, bench.Table3())
 		any = true
 	}
 	if *org != "" {
-		if err := dumpOrg(*org); err != nil {
+		if err := dumpOrg(w, *org); err != nil {
 			fmt.Fprintln(os.Stderr, "diag-report:", err)
 			os.Exit(1)
 		}
@@ -52,7 +62,7 @@ func main() {
 
 // dumpOrg prints the machine hierarchy of Figure 8: rings containing
 // clusters containing PEs, with the memory system underneath.
-func dumpOrg(name string) error {
+func dumpOrg(w io.Writer, name string) error {
 	var cfg diag.Config
 	switch strings.ToUpper(name) {
 	case "I4C2":
@@ -66,23 +76,23 @@ func dumpOrg(name string) error {
 	default:
 		return fmt.Errorf("unknown configuration %q", name)
 	}
-	fmt.Printf("%s — %s, %d MHz, %d PEs total\n", cfg.Name, cfg.ISA, cfg.FreqMHz, cfg.TotalPEs())
+	fmt.Fprintf(w, "%s — %s, %d MHz, %d PEs total\n", cfg.Name, cfg.ISA, cfg.FreqMHz, cfg.TotalPEs())
 	for r := 0; r < cfg.Rings; r++ {
-		fmt.Printf("└─ dataflow ring %d (control unit, 512-bit bus)\n", r)
+		fmt.Fprintf(w, "└─ dataflow ring %d (control unit, 512-bit bus)\n", r)
 		for c := 0; c < cfg.Clusters; c++ {
-			fmt.Printf("   ├─ processing cluster %d: %d PEs, %d register lanes, lane buffer every %d PEs, LSU + %d memory-lane entries\n",
+			fmt.Fprintf(w, "   ├─ processing cluster %d: %d PEs, %d register lanes, lane buffer every %d PEs, LSU + %d memory-lane entries\n",
 				c, cfg.PEsPerCluster, 32, cfg.LaneBufferEvery, cfg.MemLaneLines)
 			if cfg.Clusters > 4 && c == 1 {
-				fmt.Printf("   ├─ ... (%d more clusters)\n", cfg.Clusters-3)
+				fmt.Fprintf(w, "   ├─ ... (%d more clusters)\n", cfg.Clusters-3)
 				c = cfg.Clusters - 2
 			}
 		}
 	}
-	fmt.Printf("memory: %dKB L1I (direct-mapped), %dKB L1D (%d banks)",
+	fmt.Fprintf(w, "memory: %dKB L1I (direct-mapped), %dKB L1D (%d banks)",
 		cfg.L1ISize>>10, cfg.L1DSize>>10, cfg.L1DBanks)
 	if cfg.L2Size > 0 {
-		fmt.Printf(", %dMB unified L2", cfg.L2Size>>20)
+		fmt.Fprintf(w, ", %dMB unified L2", cfg.L2Size>>20)
 	}
-	fmt.Printf(", DRAM %d cycles\n", cfg.DRAMLatency)
+	fmt.Fprintf(w, ", DRAM %d cycles\n", cfg.DRAMLatency)
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"diag/internal/asm"
+	"diag/internal/cliutil"
 	"diag/internal/diag"
 	"diag/internal/mem"
 	"diag/internal/ooo"
@@ -28,6 +29,7 @@ import (
 )
 
 func main() {
+	core := cliutil.Flags(flag.CommandLine)
 	machine := flag.String("machine", "F4C16", "I4C2, F4C2, F4C16, F4C32, or ooo")
 	rings := flag.Int("rings", 0, "reshape the DiAG machine into N rings x 2 clusters")
 	cores := flag.Int("cores", 1, "baseline core count (machine=ooo)")
@@ -41,17 +43,13 @@ func main() {
 	sharedFPUs := flag.Int("shared-fpus", 0, "share N FPUs per cluster instead of one per PE (paper §7.5)")
 	spec := flag.Bool("spec-datapaths", false, "speculatively construct taken-branch target datapaths (paper §7.3.2)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	maxCycles := flag.Int64("max-cycles", 0, "simulated-cycle budget for the run (0 = none)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := core.Context(ctx)
+	defer cancel()
 
 	img, check, err := buildProgram(*workload, workloads.Params{Scale: *scale, Threads: *threads, SIMT: *simt})
 	if err != nil {

@@ -9,6 +9,14 @@
 //	diag-trace -kernel pathfinder -o trace.json
 //	diag-trace -machine ooo -kernel mcf -scale 2 -o trace.json -csv occ.csv
 //	diag-trace -machine F4C16 -summary prog.s
+//	diag-trace -kernel srad -from-cycle 50000 -o tail.json
+//
+// With -from-cycle K the run executes untraced up to (approximately)
+// cycle K — checkpointing the machine as it goes — then restores the
+// nearest checkpoint at or below K and replays the rest with the
+// observer attached. The emitted trace covers the region of interest
+// without paying event-collection cost for the warmup, and determinism
+// makes the replayed tail identical to an always-traced run.
 //
 // The exported trace is validated against the trace-event schema subset
 // before it is written; -validate checks an existing file instead of
@@ -24,25 +32,24 @@ import (
 	"os/signal"
 	"strings"
 
-	"diag/internal/asm"
-	"diag/internal/diag"
-	"diag/internal/mem"
+	"diag"
+	"diag/internal/cliutil"
 	"diag/internal/obsv"
-	"diag/internal/ooo"
 	"diag/internal/workloads"
 )
 
 func main() {
+	core := cliutil.Flags(flag.CommandLine)
 	machine := flag.String("machine", "F4C2", "I4C2, F4C2, F4C16, F4C32, or ooo")
 	kernel := flag.String("kernel", "", "run a named benchmark kernel instead of a file")
 	scale := flag.Int("scale", 1, "kernel problem-size knob")
-	out := flag.String("o", "", "write the Chrome trace-event JSON here")
 	csvOut := flag.String("csv", "", "write the occupancy timeseries CSV here")
 	summary := flag.Bool("summary", false, "print the metrics summary to stdout")
 	limit := flag.Int("limit", 0, "event retention bound (0 = default; events past it still count)")
 	sample := flag.Int64("sample", 0, "minimum cycle spacing between occupancy samples (0 = default 256)")
 	validate := flag.String("validate", "", "validate an existing trace JSON file and exit")
 	maxCycles := flag.Int64("max-cycles", 0, "simulated-cycle budget for the run (0 = none)")
+	fromCycle := flag.Int64("from-cycle", 0, "skip event collection before ~cycle K: run untraced, restore the nearest checkpoint below K, replay traced")
 	flag.Parse()
 
 	if *validate != "" {
@@ -61,12 +68,15 @@ func main() {
 		fmt.Printf("%s: valid (%d entries)\n", *validate, len(doc.TraceEvents))
 		return
 	}
-	if *out == "" && *csvOut == "" && !*summary {
+	out := *core.Out
+	if out == "" && *csvOut == "" && !*summary {
 		fatal(fmt.Errorf("nothing to do: pass -o, -csv, or -summary"))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	ctx, cancel := core.Context(ctx)
+	defer cancel()
 
 	img, label, err := buildProgram(*kernel, workloads.Params{Scale: *scale})
 	if err != nil {
@@ -77,45 +87,33 @@ func main() {
 	reg := obsv.NewRegistry(*sample)
 	obs := obsv.Tee(col, reg)
 
+	var target diag.Target
 	var unitNames []string
 	if strings.EqualFold(*machine, "ooo") {
-		cfg := ooo.Baseline()
-		cfg.MaxCycles = *maxCycles
-		mach, err := ooo.NewMachine(cfg, img)
-		if err != nil {
-			fatal(err)
-		}
-		mach.SetObserver(obs)
-		if err := mach.RunContext(ctx); err != nil {
-			fatal(err)
-		}
+		cfg := diag.Baseline()
+		target = diag.OoO(cfg)
 		for i := 0; i < cfg.Cores; i++ {
 			unitNames = append(unitNames, fmt.Sprintf("core %d", i))
 		}
-		fmt.Fprintf(os.Stderr, "diag-trace: %s on %s: %d cycles, %d events (%d dropped)\n",
-			label, cfg.Name, mach.Stats().Cycles, col.Total(), col.Dropped())
 	} else {
 		cfg, err := diagConfig(*machine)
 		if err != nil {
 			fatal(err)
 		}
-		cfg.MaxCycles = *maxCycles
-		mach, err := diag.NewMachine(cfg, img)
-		if err != nil {
-			fatal(err)
-		}
-		mach.SetObserver(obs)
-		if err := mach.RunContext(ctx); err != nil {
-			fatal(err)
-		}
+		target = diag.DiAG(cfg)
 		for i := 0; i < cfg.Rings; i++ {
 			unitNames = append(unitNames, fmt.Sprintf("ring %d", i))
 		}
-		fmt.Fprintf(os.Stderr, "diag-trace: %s on %s: %d cycles, %d events (%d dropped)\n",
-			label, cfg.Name, mach.Stats().Cycles, col.Total(), col.Dropped())
 	}
 
-	if *out != "" {
+	res, err := run(ctx, target, img, *fromCycle, *maxCycles, obs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "diag-trace: %s on %s: %d cycles, %d events (%d dropped)\n",
+		label, target.Name(), res.Cycles, col.Total(), col.Dropped())
+
+	if out != "" {
 		// Export to memory first so the written file is always a trace
 		// that round-trips through the schema validator.
 		var buf bytes.Buffer
@@ -129,11 +127,11 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("internal error: emitted trace fails validation: %w", err))
 		}
-		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "diag-trace: wrote %s (%d entries); open at https://ui.perfetto.dev\n",
-			*out, len(doc.TraceEvents))
+			out, len(doc.TraceEvents))
 	}
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
@@ -152,7 +150,55 @@ func main() {
 	}
 }
 
-func buildProgram(name string, p workloads.Params) (*mem.Image, string, error) {
+// checkpointStride is how many retired instructions separate the
+// rolling checkpoints of a -from-cycle run: small enough that the
+// nearest-below restore point lands close to the requested cycle,
+// large enough that checkpointing stays a small fraction of run time.
+const checkpointStride = 8192
+
+// run executes img on t. With fromCycle == 0 the observer is attached
+// from reset; otherwise the machine runs untraced in checkpointed
+// strides until its clock passes fromCycle, then the nearest checkpoint
+// at or below it is restored and replayed with the observer attached.
+func run(ctx context.Context, t diag.Target, img *diag.Program, fromCycle, maxCycles int64, obs diag.Observer) (*diag.Result, error) {
+	opts := func(extra ...diag.RunOption) []diag.RunOption {
+		all := []diag.RunOption{diag.WithContext(ctx)}
+		if maxCycles > 0 {
+			all = append(all, diag.WithMaxCycles(maxCycles))
+		}
+		return append(all, extra...)
+	}
+	if fromCycle <= 0 {
+		return t.Run(img, opts(diag.WithObserver(obs))...)
+	}
+
+	// Untraced warmup: pause every checkpointStride instructions and
+	// keep the latest snapshot still at or below the requested cycle.
+	var nearest *diag.Snapshot
+	n := uint64(checkpointStride)
+	res, err := t.Run(img, opts(diag.WithRunUntil(n))...)
+	for err == nil && !res.Done && res.Cycles < fromCycle {
+		s, cerr := t.Checkpoint()
+		if cerr != nil {
+			return nil, cerr
+		}
+		nearest = s
+		n += checkpointStride
+		res, err = t.Resume(s, opts(diag.WithRunUntil(n))...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Replay the tail — from the nearest-below checkpoint, or from
+	// reset when the clock crossed fromCycle inside the first stride —
+	// with the observer attached.
+	if nearest == nil {
+		return t.Run(img, opts(diag.WithObserver(obs))...)
+	}
+	return t.Resume(nearest, opts(diag.WithObserver(obs))...)
+}
+
+func buildProgram(name string, p workloads.Params) (*diag.Program, string, error) {
 	if name != "" {
 		w, ok := workloads.ByName(name)
 		if !ok {
@@ -172,7 +218,7 @@ func buildProgram(name string, p workloads.Params) (*mem.Image, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	img, err := asm.Assemble(string(src))
+	img, err := diag.Assemble(string(src))
 	return img, flag.Arg(0), err
 }
 

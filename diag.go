@@ -130,10 +130,15 @@ func NewMachine(cfg Config, p *Program) (*Machine, error) { return idiag.NewMach
 // ErrMaxInstructions, ErrBadProgram) under errors.Is. Calling Run
 // without options is the legacy serial form and remains fully
 // supported.
+//
+// Run is the flat convenience over the Target API: it is equivalent to
+// DiAG(cfg).Run(p, opts...) without the checkpoint/resume machinery.
 func Run(cfg Config, p *Program, opts ...RunOption) (Stats, *Memory, error) {
-	o, ctx, cancel := applyOptions(opts)
-	defer cancel()
-	return runDiAGMachine(ctx, o, cfg, p)
+	res, err := DiAG(cfg).Run(p, opts...)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	return *res.DiAG, res.Mem, nil
 }
 
 // RunContext is Run with a leading context, for call sites that already
@@ -158,13 +163,21 @@ func BaselineMulticore(cores int) BaselineConfig { return ooo.BaselineMulticore(
 
 // RunBaseline executes p on the out-of-order baseline. It accepts the
 // same options and returns the same error taxonomy as Run.
+//
+// Deprecated: Use OoO(cfg).Run(p, opts...) — the Target API unifies the
+// baseline with the DiAG machine and the ISS and adds
+// checkpoint/restore.
 func RunBaseline(cfg BaselineConfig, p *Program, opts ...RunOption) (BaselineStats, *Memory, error) {
-	o, ctx, cancel := applyOptions(opts)
-	defer cancel()
-	return runBaselineMachine(ctx, o, cfg, p)
+	res, err := OoO(cfg).Run(p, opts...)
+	if err != nil {
+		return BaselineStats{}, nil, err
+	}
+	return *res.Baseline, res.Mem, nil
 }
 
 // RunBaselineContext is RunBaseline with a leading context.
+//
+// Deprecated: Use OoO(cfg).Run(p, append(opts, WithContext(ctx))...).
 func RunBaselineContext(ctx context.Context, cfg BaselineConfig, p *Program, opts ...RunOption) (BaselineStats, *Memory, error) {
 	return RunBaseline(cfg, p, append(opts, WithContext(ctx))...)
 }

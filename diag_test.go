@@ -1,6 +1,7 @@
 package diag_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -39,6 +40,9 @@ func TestPublicAssembleRun(t *testing.T) {
 	}
 }
 
+// TestPublicBaselineComparison keeps exercising the deprecated
+// RunBaseline/RunBaselineContext wrappers: they must stay thin
+// delegates of the OoO target with identical results.
 func TestPublicBaselineComparison(t *testing.T) {
 	img, err := diag.Assemble(tinyLoop)
 	if err != nil {
@@ -50,6 +54,17 @@ func TestPublicBaselineComparison(t *testing.T) {
 	}
 	if m.LoadWord(0x700) != 50 || b.Cycles <= 0 {
 		t.Error("baseline run wrong")
+	}
+	b2, _, err := diag.RunBaselineContext(context.Background(), diag.Baseline(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := diag.OoO(diag.Baseline()).Run(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != b2 || b != *res.Baseline {
+		t.Error("deprecated wrappers diverge from the OoO target")
 	}
 }
 
@@ -81,11 +96,11 @@ func TestPublicEnergyAndArea(t *testing.T) {
 	if e.Total() <= 0 {
 		t.Error("no energy")
 	}
-	b, _, err := diag.RunBaseline(diag.Baseline(), img)
+	bres, err := diag.OoO(diag.Baseline()).Run(img)
 	if err != nil {
 		t.Fatal(err)
 	}
-	be := diag.BaselineEnergy(diag.Baseline(), b, cfg.FreqMHz)
+	be := diag.BaselineEnergy(diag.Baseline(), *bres.Baseline, cfg.FreqMHz)
 	if diag.Efficiency(e, be) <= 0 {
 		t.Error("efficiency must be positive")
 	}

@@ -70,10 +70,11 @@ func TestGoldenEventCountsBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	col := diag.NewEventCollector(0)
-	st, _, err := diag.RunBaseline(diag.Baseline(), p, diag.WithObserver(col))
+	res, err := diag.OoO(diag.Baseline()).Run(p, diag.WithObserver(col))
 	if err != nil {
 		t.Fatal(err)
 	}
+	st := *res.Baseline
 
 	// Every retired instruction passes through all five pipeline stages.
 	for _, k := range []diag.EventKind{

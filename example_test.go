@@ -88,7 +88,7 @@ func ExampleSweep() {
 	}
 	results, err := diag.Sweep(context.Background(), []diag.SweepJob{
 		diag.SimJob("sum/F4C2", diag.F4C2(), img),
-		diag.BaselineJob("sum/ooo", diag.Baseline(), img),
+		diag.TargetJob("sum/ooo", diag.OoO(diag.Baseline()), img),
 	}, diag.SweepOptions{Workers: 2})
 	if err != nil {
 		log.Fatal(err)
@@ -97,7 +97,7 @@ func ExampleSweep() {
 		switch st := r.Value.(type) {
 		case diag.Stats:
 			fmt.Printf("%s retired %d\n", r.Name, st.Retired)
-		case diag.BaselineStats:
+		case *diag.Result:
 			fmt.Printf("%s retired %d\n", r.Name, st.Retired)
 		}
 	}

@@ -31,13 +31,14 @@ func main() {
 		return img
 	}
 
-	base, m, err := diag.RunBaseline(diag.Baseline(), build())
+	baseRes, err := diag.OoO(diag.Baseline()).Run(build())
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := w.Check(m, p); err != nil {
+	if err := w.Check(baseRes.Mem, p); err != nil {
 		log.Fatal(err)
 	}
+	base := *baseRes.Baseline
 
 	t := stats.NewTable(
 		fmt.Sprintf("%s (%s, %s, scale %d), single thread", w.Name, w.Suite, w.Class, *scale),

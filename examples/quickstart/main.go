@@ -50,10 +50,11 @@ func main() {
 	fmt.Printf("DiAG %s:  %5d cycles, IPC %.2f, %d datapath reuses\n",
 		cfg.Name, st.Cycles, st.IPC(), st.ReuseHits)
 
-	base, _, err := diag.RunBaseline(diag.Baseline(), img)
+	baseRes, err := diag.OoO(diag.Baseline()).Run(img)
 	if err != nil {
 		log.Fatal(err)
 	}
+	base := *baseRes.Baseline
 	fmt.Printf("OoO 8-wide: %5d cycles, IPC %.2f\n", base.Cycles, base.IPC())
 	fmt.Printf("relative performance: %.2fx\n", float64(base.Cycles)/float64(st.Cycles))
 

@@ -93,6 +93,18 @@ func WithFaultTimeout(d time.Duration) FaultOption {
 	return func(c *fault.Campaign) { c.Timeout = d }
 }
 
+// WithFaultWarmup runs the unfaulted machine once to n retired
+// instructions, checkpoints it, and forks every eligible trial from the
+// shared snapshot instead of re-simulating the warmup region from
+// reset. A trial is eligible only when its fault cannot have fired
+// inside the warmup window; ineligible trials run from reset as
+// before. Determinism makes the fork exact, so the report is
+// byte-identical to a campaign without warmup at any worker count —
+// warmup only changes how fast the campaign finishes.
+func WithFaultWarmup(n uint64) FaultOption {
+	return func(c *fault.Campaign) { c.Warmup = n }
+}
+
 // FaultCampaign runs a Monte Carlo fault-injection campaign of p on a
 // DiAG machine. cfg must be single-ring (fault campaigns perturb one
 // hart). The error covers campaign-level failures only — per-trial
@@ -107,6 +119,9 @@ func FaultCampaign(ctx context.Context, cfg Config, p *Program, opts ...FaultOpt
 
 // FaultCampaignBaseline is FaultCampaign on the out-of-order baseline
 // (cfg must be single-core).
+//
+// Deprecated: Use FaultCampaignOn(ctx, OoO(cfg), p, opts...) — the
+// Target API runs campaigns on any timing machine.
 func FaultCampaignBaseline(ctx context.Context, cfg BaselineConfig, p *Program, opts ...FaultOption) (*FaultReport, error) {
 	c := &fault.Campaign{Image: p, OoO: &cfg}
 	for _, o := range opts {
@@ -130,6 +145,9 @@ func FaultReplay(ctx context.Context, cfg Config, p *Program, rep *FaultReport, 
 }
 
 // FaultReplayBaseline is FaultReplay on the out-of-order baseline.
+//
+// Deprecated: Use FaultReplayOn(ctx, OoO(cfg), p, rep, trial, obs,
+// opts...) — the Target API replays trials on any timing machine.
 func FaultReplayBaseline(ctx context.Context, cfg BaselineConfig, p *Program, rep *FaultReport, trial int, obs Observer, opts ...FaultOption) (FaultTrial, error) {
 	c := &fault.Campaign{Image: p, OoO: &cfg}
 	for _, o := range opts {

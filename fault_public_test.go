@@ -56,14 +56,23 @@ func TestFaultCampaignPublicAPI(t *testing.T) {
 		t.Fatal("fixed-seed campaign not reproducible across worker counts")
 	}
 
-	// The baseline accepts the same options.
-	brep, err := diag.FaultCampaignBaseline(context.Background(), diag.Baseline(), img,
+	// The baseline accepts the same options, through the Target entry
+	// point and its deprecated wrapper alike.
+	brep, err := diag.FaultCampaignOn(context.Background(), diag.OoO(diag.Baseline()), img,
+		diag.WithFaultTrials(10), diag.WithFaultSeed(7))
+	if err != nil {
+		t.Fatalf("FaultCampaignOn: %v", err)
+	}
+	if len(brep.Trials) != 10 {
+		t.Fatalf("baseline: got %d trials, want 10", len(brep.Trials))
+	}
+	brep2, err := diag.FaultCampaignBaseline(context.Background(), diag.Baseline(), img,
 		diag.WithFaultTrials(10), diag.WithFaultSeed(7))
 	if err != nil {
 		t.Fatalf("FaultCampaignBaseline: %v", err)
 	}
-	if len(brep.Trials) != 10 {
-		t.Fatalf("baseline: got %d trials, want 10", len(brep.Trials))
+	if brep.Table() != brep2.Table() {
+		t.Fatal("deprecated FaultCampaignBaseline diverges from FaultCampaignOn")
 	}
 }
 

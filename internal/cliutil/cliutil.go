@@ -1,0 +1,79 @@
+// Package cliutil centralizes the core command-line flags shared by
+// every diag tool, so their spelling, defaults, and semantics cannot
+// drift between commands:
+//
+//	-parallel N   worker count (0 = GOMAXPROCS)
+//	-seed N       deterministic seed; equal seeds replay identical runs
+//	-timeout D    wall-clock budget (0 = none)
+//	-o FILE       write primary output to FILE instead of stdout
+//
+// Tools register the whole set with Flags; a flag that has no effect on
+// a particular tool (a seed on the assembler) is still accepted, so
+// scripts can pass one uniform flag vocabulary to every command.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"io"
+	"os"
+	"time"
+)
+
+// Core holds the parsed values of the shared flag set.
+type Core struct {
+	// Parallel is the -parallel worker count; 0 means GOMAXPROCS, which
+	// every consumer of the value (exp.Options, fault.Campaign, bench)
+	// already treats as the default.
+	Parallel *int
+	// Seed is the -seed deterministic seed.
+	Seed *int64
+	// Timeout is the -timeout wall-clock budget; 0 means none.
+	Timeout *time.Duration
+	// Out is the -o output path; "" or "-" means stdout.
+	Out *string
+}
+
+// Flags registers the core flag set on fs (flag.CommandLine for the
+// tools) with the canonical spellings and usage strings, and returns
+// the bound values. Call it before fs.Parse.
+func Flags(fs *flag.FlagSet) *Core {
+	return &Core{
+		Parallel: fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS); deterministic reports are identical at any value"),
+		Seed:     fs.Int64("seed", 1, "deterministic seed; equal seeds replay identical runs"),
+		Timeout:  fs.Duration("timeout", 0, "wall-clock budget (0 = none)"),
+		Out:      fs.String("o", "", "write primary output to this file instead of stdout"),
+	}
+}
+
+// Context derives the tool's run context: ctx bounded by the -timeout
+// budget when one is set. The returned stop must be deferred.
+func (c *Core) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	if c.Timeout != nil && *c.Timeout > 0 {
+		return context.WithTimeout(parent, *c.Timeout)
+	}
+	return parent, func() {}
+}
+
+// Output opens the -o destination: the named file when one was given,
+// stdout (with a no-op Close) otherwise.
+func (c *Core) Output() (io.WriteCloser, error) {
+	return OpenOutput(*c.Out)
+}
+
+// OpenOutput opens path for writing; "" and "-" mean stdout, whose
+// returned Close is a no-op.
+func OpenOutput(path string) (io.WriteCloser, error) {
+	if path == "" || path == "-" {
+		return nopCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+// Lookup reports whether fs defines a flag with the given name —
+// the hook the flag-uniformity test uses.
+func Lookup(fs *flag.FlagSet, name string) bool { return fs.Lookup(name) != nil }

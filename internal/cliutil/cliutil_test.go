@@ -1,0 +1,83 @@
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFlagsRegistersCoreSet(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	core := Flags(fs)
+	for _, name := range []string{"parallel", "seed", "timeout", "o"} {
+		if !Lookup(fs, name) {
+			t.Errorf("core flag -%s not registered", name)
+		}
+	}
+	if err := fs.Parse([]string{"-parallel", "8", "-seed", "42", "-timeout", "3s", "-o", "out.txt"}); err != nil {
+		t.Fatal(err)
+	}
+	if *core.Parallel != 8 || *core.Seed != 42 || *core.Timeout != 3*time.Second || *core.Out != "out.txt" {
+		t.Errorf("parsed %d/%d/%v/%q", *core.Parallel, *core.Seed, *core.Timeout, *core.Out)
+	}
+	// Defaults: seed 1 (a fixed default keeps bare runs reproducible),
+	// everything else off.
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	core2 := Flags(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *core2.Parallel != 0 || *core2.Seed != 1 || *core2.Timeout != 0 || *core2.Out != "" {
+		t.Errorf("defaults %d/%d/%v/%q", *core2.Parallel, *core2.Seed, *core2.Timeout, *core2.Out)
+	}
+}
+
+func TestContext(t *testing.T) {
+	d := 50 * time.Millisecond
+	core := &Core{Timeout: &d}
+	ctx, cancel := core.Context(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("timeout set but context has no deadline")
+	}
+	var zero time.Duration
+	core = &Core{Timeout: &zero}
+	ctx, cancel = core.Context(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero timeout produced a deadline")
+	}
+}
+
+func TestOpenOutput(t *testing.T) {
+	for _, path := range []string{"", "-"} {
+		w, err := OpenOutput(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != (nopCloser{os.Stdout}) {
+			t.Errorf("OpenOutput(%q) is not stdout", path)
+		}
+		if err := w.Close(); err != nil {
+			t.Errorf("stdout close: %v", err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "out.txt")
+	w, err := OpenOutput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "hi" {
+		t.Errorf("read back %q, %v", b, err)
+	}
+}

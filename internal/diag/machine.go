@@ -91,6 +91,12 @@ type Ring struct {
 	redirectReady int64 // instructions after the last redirect start here
 	busFreeAt     int64 // shared 512-bit bus (line loads + RF transport)
 
+	// steps counts loop iterations across the ring's whole lifetime, so
+	// the context-poll, watchdog, and occupancy-sample cadences line up
+	// exactly whether a run executes straight through or is paused,
+	// snapshotted, and resumed.
+	steps uint64
+
 	stats Stats
 }
 
@@ -335,6 +341,20 @@ func (r *Ring) Run() error { return r.RunContext(context.Background()) }
 // run returns within microseconds rather than simulating to completion.
 // It also enforces the optional Config.MaxCycles budget.
 func (r *Ring) RunContext(ctx context.Context) error {
+	_, err := r.RunUntil(ctx, 0)
+	return err
+}
+
+// RunUntil is RunContext with a pause point: when limit > 0 the ring
+// additionally stops — returning (true, nil) with every piece of state
+// intact — once its total retired-instruction count reaches limit. A
+// paused ring continues from exactly where it stopped on the next
+// RunUntil or RunContext call; the split run retires the same
+// instructions at the same cycles, polls the context and watchdog on
+// the same cadence, and emits the same observer events as an unpaused
+// one. SIMT regions retire whole, so a pause inside one lands at the
+// next region boundary, past limit.
+func (r *Ring) RunUntil(ctx context.Context, limit uint64) (paused bool, err error) {
 	cfg := r.cfg
 	done := ctx.Done()
 	// Hoist the observer nil check out of the inner loop (like the
@@ -342,22 +362,29 @@ func (r *Ring) RunContext(ctx context.Context) error {
 	// only dead, perfectly predicted branches and zero allocations.
 	obs := r.obs
 	var ex iss.Exec // reused per-step scratch; StepInto overwrites it fully
-	r.ensure(r.cpu.PC, 0)
-	for steps := uint64(0); !r.cpu.Halted && r.stats.Retired < cfg.MaxInstructions; steps++ {
+	if r.steps == 0 {
+		r.ensure(r.cpu.PC, 0)
+	}
+	stop := cfg.MaxInstructions
+	if limit > 0 && limit < stop {
+		stop = limit
+	}
+	for ; !r.cpu.Halted && r.stats.Retired < stop; r.steps++ {
+		steps := r.steps
 		if steps&(ctxPollInterval-1) == 0 {
 			select {
 			case <-done:
-				return diagerr.FromContext(ctx.Err())
+				return false, diagerr.FromContext(ctx.Err())
 			default:
 			}
 			if steps > 0 && r.watchdog.Stalled(r.cpu, r.stats.Stores) {
-				return diagerr.Wrap(diagerr.ErrStalled,
+				return false, diagerr.Wrap(diagerr.ErrStalled,
 					"diag: no architectural progress after %d retired instructions (PC 0x%x)",
 					r.stats.Retired, r.cpu.PC)
 			}
 		}
 		if cfg.MaxCycles > 0 && r.now > cfg.MaxCycles {
-			return diagerr.Wrap(diagerr.ErrMaxCycles,
+			return false, diagerr.Wrap(diagerr.ErrMaxCycles,
 				"diag: cycle budget %d exceeded after %d retired instructions", cfg.MaxCycles, r.stats.Retired)
 		}
 		if r.PreStep != nil {
@@ -382,7 +409,7 @@ func (r *Ring) RunContext(ctx context.Context) error {
 
 		r.cpu.StepInto(&ex)
 		if r.cpu.Err != nil {
-			return fmt.Errorf("diag: %w", r.cpu.Err)
+			return false, fmt.Errorf("diag: %w", r.cpu.Err)
 		}
 		if r.cpu.Halted {
 			break // ebreak halts without retiring (matches the ISS count)
@@ -618,11 +645,11 @@ func (r *Ring) RunContext(ctx context.Context) error {
 	if r.cpu.Err != nil {
 		// An abnormal halt inside a SIMT region surfaces here rather than
 		// at the per-step check.
-		return fmt.Errorf("diag: %w", r.cpu.Err)
+		return false, fmt.Errorf("diag: %w", r.cpu.Err)
 	}
 	if r.stats.Retired >= cfg.MaxInstructions && !r.cpu.Halted {
-		return diagerr.Wrap(diagerr.ErrMaxInstructions,
+		return false, diagerr.Wrap(diagerr.ErrMaxInstructions,
 			"diag: instruction cap %d reached before halt", cfg.MaxInstructions)
 	}
-	return nil
+	return !r.cpu.Halted, nil
 }

@@ -23,23 +23,17 @@ type Machine struct {
 	dram *cache.DRAM
 
 	rings []*Ring
-	stats Stats
+
+	// nextRing is the first ring that has not yet run to completion.
+	// Rings execute serially, so a paused multi-ring machine resumes at
+	// the ring the pause interrupted.
+	nextRing int
 }
 
-// NewMachine builds a machine for the image. Multi-ring machines place
-// the thread id in register tp (x4) and the thread count in gp (x3) of
-// each ring's CPU before execution — the convention all parallel
-// workloads in this repository follow.
-func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
-	cfg.setDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	m := mem.New()
-	entry, err := img.Load(m)
-	if err != nil {
-		return nil, err
-	}
+// buildMachine wires the cache hierarchy and rings above an
+// already-populated memory; cfg must have defaults applied and be
+// validated.
+func buildMachine(cfg Config, m *mem.Memory, entry uint32) *Machine {
 	mach := &Machine{cfg: cfg, mem: m, dram: &cache.DRAM{Latency: cfg.DRAMLatency}}
 	for i := 0; i < cfg.Rings; i++ {
 		// Rings run on independent timelines, so each gets a private
@@ -61,7 +55,24 @@ func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
 		r.cpu.X[isa.GP] = uint32(cfg.Rings)
 		mach.rings = append(mach.rings, r)
 	}
-	return mach, nil
+	return mach
+}
+
+// NewMachine builds a machine for the image. Multi-ring machines place
+// the thread id in register tp (x4) and the thread count in gp (x3) of
+// each ring's CPU before execution — the convention all parallel
+// workloads in this repository follow.
+func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := mem.New()
+	entry, err := img.Load(m)
+	if err != nil {
+		return nil, err
+	}
+	return buildMachine(cfg, m, entry), nil
 }
 
 // Config returns the machine's configuration.
@@ -83,6 +94,25 @@ func (m *Machine) SetObserver(o obsv.Observer) {
 	}
 }
 
+// SetBudgets overrides the MaxInstructions and MaxCycles budgets of the
+// machine and every ring (0 keeps the current value); used when a
+// restored snapshot's run should carry different budgets than the run
+// that produced it.
+func (m *Machine) SetBudgets(maxInst uint64, maxCycles int64) {
+	if maxInst > 0 {
+		m.cfg.MaxInstructions = maxInst
+		for _, r := range m.rings {
+			r.cfg.MaxInstructions = maxInst
+		}
+	}
+	if maxCycles > 0 {
+		m.cfg.MaxCycles = maxCycles
+		for _, r := range m.rings {
+			r.cfg.MaxCycles = maxCycles
+		}
+	}
+}
+
 // Run executes every ring to completion and aggregates statistics.
 //
 // Rings execute functionally one after another against the shared
@@ -97,25 +127,64 @@ func (m *Machine) Run() error { return m.RunContext(context.Background()) }
 // polls ctx while it executes, so cancelling aborts the machine within
 // a few thousand simulated instructions.
 func (m *Machine) RunContext(ctx context.Context) error {
-	m.stats = Stats{}
-	for i, r := range m.rings {
-		if err := r.RunContext(ctx); err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return err // not the ring's fault; keep the error unadorned
-			}
-			return fmt.Errorf("ring %d: %w", i, err)
-		}
-		m.stats.Merge(r.Stats())
-	}
-	for _, l2 := range m.l2s {
-		mergeCache(&m.stats.L2, l2.Stats)
-	}
-	m.stats.DRAMAccesses = m.dram.Accesses
-	return nil
+	_, err := m.RunUntil(ctx, 0)
+	return err
 }
 
-// Stats returns aggregated statistics; valid after Run.
-func (m *Machine) Stats() Stats { return m.stats }
+// RunUntil is RunContext with a pause point: when limit > 0 the machine
+// additionally stops — returning (true, nil) with all state intact —
+// once the total retired-instruction count across rings reaches limit.
+// A paused machine continues exactly where it stopped on the next
+// RunUntil or RunContext call, producing the same cycles, statistics,
+// and observer events as an unpaused run.
+func (m *Machine) RunUntil(ctx context.Context, limit uint64) (paused bool, err error) {
+	for m.nextRing < len(m.rings) {
+		r := m.rings[m.nextRing]
+		ringLimit := uint64(0)
+		if limit > 0 {
+			total := m.totalRetired()
+			if total >= limit {
+				return true, nil
+			}
+			ringLimit = r.stats.Retired + (limit - total)
+		}
+		ringPaused, err := r.RunUntil(ctx, ringLimit)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return false, err // not the ring's fault; keep the error unadorned
+			}
+			return false, fmt.Errorf("ring %d: %w", m.nextRing, err)
+		}
+		if ringPaused {
+			return true, nil
+		}
+		m.nextRing++
+	}
+	return false, nil
+}
+
+func (m *Machine) totalRetired() uint64 {
+	var n uint64
+	for _, r := range m.rings {
+		n += r.stats.Retired
+	}
+	return n
+}
+
+// Stats aggregates the machine's statistics on demand: the merge over
+// all rings plus the shared L2 and DRAM counters. Valid at any point —
+// after Run, at a RunUntil pause, or mid-construction (all zeros).
+func (m *Machine) Stats() Stats {
+	var s Stats
+	for _, r := range m.rings {
+		s.Merge(r.Stats())
+	}
+	for _, l2 := range m.l2s {
+		mergeCache(&s.L2, l2.Stats)
+	}
+	s.DRAMAccesses = m.dram.Accesses
+	return s
+}
 
 // RunImage is the one-call convenience: build a machine, run it, return
 // the stats and final memory.

@@ -15,6 +15,7 @@ import (
 	"diag/internal/mem"
 	"diag/internal/obsv"
 	"diag/internal/ooo"
+	"diag/internal/snap"
 	"diag/internal/stats"
 )
 
@@ -77,6 +78,16 @@ type Campaign struct {
 
 	Workers int           // parallel trial runners (<=0: GOMAXPROCS)
 	Timeout time.Duration // optional per-trial wall-clock bound (counts as hang)
+
+	// Warmup, when > 0, runs the unfaulted machine once to that many
+	// retired instructions, checkpoints it (internal/snap), and forks
+	// every eligible trial from the shared snapshot instead of
+	// re-simulating the warmup region. A trial is eligible only when its
+	// fault cannot have fired during the warmup window (Fault.Cycle
+	// strictly past every cycle the warmup polled); ineligible trials
+	// run from reset as before. Determinism makes the fork exact, so
+	// the report is byte-identical to Warmup == 0 at any worker count.
+	Warmup uint64
 
 	// DataAddr/DataLen bound SiteMem faults; zero means derive from
 	// the image's data segments (falling back to a page past text).
@@ -168,7 +179,7 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 
 	// Unfaulted timing run: differential sanity check plus the cycle
 	// window faults are scheduled in and the degraded-mode baseline.
-	base := c.runner(nil, dataAddr, dataLen, 0, 0, nil)
+	base := c.forkRunner(nil, nil, dataAddr, dataLen, 0, 0, nil)
 	baseRes := base(ctx)
 	if baseRes.err != nil {
 		return nil, fmt.Errorf("fault: unfaulted run failed: %w", baseRes.err)
@@ -190,9 +201,20 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 		faults[i] = []Fault{Random(rng, sites, baseRes.cycles)}
 	}
 
+	// With a warmup window, trials whose fault lands strictly past it
+	// fork from one shared post-warmup checkpoint instead of
+	// re-simulating the warmup region from reset.
+	var fork *forkPoint
+	if c.Warmup > 0 {
+		fork, err = c.checkpoint(ctx, maxInst, maxCycles)
+		if err != nil {
+			return nil, fmt.Errorf("fault: warmup checkpoint: %w", err)
+		}
+	}
+
 	jobs := make([]exp.Job, trials)
 	for i := range jobs {
-		run := c.runner(faults[i], dataAddr, dataLen, maxInst, maxCycles, nil)
+		run := c.forkRunner(fork, faults[i], dataAddr, dataLen, maxInst, maxCycles, nil)
 		jobs[i] = exp.Job{
 			Name: fmt.Sprintf("trial-%d", i),
 			Run: func(ctx context.Context) (any, error) {
@@ -309,16 +331,104 @@ func (c *Campaign) Replay(ctx context.Context, rep *Report, trial int, obs obsv.
 	// The same reproducible budgets Run derived.
 	maxInst := rep.GoldenInstret*4 + 10_000
 	maxCycles := rep.BaselineCycles*8 + 100_000
+	// Replay always runs from reset (no warmup fork) so the observer
+	// sees the complete event stream; determinism makes the resulting
+	// Trial identical either way.
 	f := rep.Trials[trial].Fault
-	res := c.runner([]Fault{f}, dataAddr, dataLen, maxInst, maxCycles, obs)(ctx)
+	res := c.forkRunner(nil, []Fault{f}, dataAddr, dataLen, maxInst, maxCycles, obs)(ctx)
 	out, msg := classify(res, golden)
 	return Trial{Fault: f, Outcome: out, Injected: res.injected, Cycles: res.cycles, Err: msg}, nil
 }
 
-// runner builds a closure running one (possibly faulted) simulation.
-// Budgets of 0 keep the configuration's own values (unfaulted run). A
-// non-nil obs streams the run's cycle-level events (replay debugging).
-func (c *Campaign) runner(faults []Fault, dataAddr, dataLen uint32, maxInst uint64, maxCycles int64, obs obsv.Observer) func(context.Context) runResult {
+// forkPoint is a shared post-warmup checkpoint: the encoded snapshot
+// (each trial decodes its own private machine from it) and the fork
+// threshold.
+type forkPoint struct {
+	enc []byte
+	// threshold is the machine's clock at the pause. Warmup polled the
+	// injection hook only at cycles <= threshold, so a fault strictly
+	// past it fires at the identical step whether the trial ran from
+	// reset or from the checkpoint.
+	threshold int64
+}
+
+// eligible reports whether a single-fault trial can fork from the
+// checkpoint without moving its injection point.
+func (fp *forkPoint) eligible(faults []Fault) bool {
+	return fp != nil && len(faults) == 1 && faults[0].Cycle > fp.threshold
+}
+
+// checkpoint runs the unfaulted machine (under the trial budgets) to
+// the warmup pause and encodes it. A nil forkPoint (no error) means the
+// program halted inside the warmup window — nothing to fork, every
+// trial runs from reset.
+func (c *Campaign) checkpoint(ctx context.Context, maxInst uint64, maxCycles int64) (*forkPoint, error) {
+	if c.DiAG != nil {
+		cfg := *c.DiAG
+		if maxInst > 0 {
+			cfg.MaxInstructions = maxInst
+		}
+		if maxCycles > 0 {
+			cfg.MaxCycles = maxCycles
+		}
+		mach, err := diag.NewMachine(cfg, c.Image)
+		if err != nil {
+			return nil, err
+		}
+		paused, err := mach.RunUntil(ctx, c.Warmup)
+		if err != nil {
+			return nil, err
+		}
+		if !paused {
+			return nil, nil
+		}
+		st := mach.State()
+		thr := st.Rings[0].Now
+		if cyc := st.Rings[0].Stats.Cycles; cyc > thr {
+			thr = cyc
+		}
+		enc, err := snap.Encode(&snap.Snapshot{Kind: snap.KindDiAG, DiAG: st})
+		if err != nil {
+			return nil, err
+		}
+		return &forkPoint{enc: enc, threshold: thr}, nil
+	}
+	cfg := *c.OoO
+	if maxInst > 0 {
+		cfg.MaxInstructions = maxInst
+	}
+	if maxCycles > 0 {
+		cfg.MaxCycles = maxCycles
+	}
+	mach, err := ooo.NewMachine(cfg, c.Image)
+	if err != nil {
+		return nil, err
+	}
+	paused, err := mach.RunUntil(ctx, c.Warmup)
+	if err != nil {
+		return nil, err
+	}
+	if !paused {
+		return nil, nil
+	}
+	st := mach.State()
+	thr := st.Cores[0].Now
+	if cyc := st.Cores[0].Stats.Cycles; cyc > thr {
+		thr = cyc
+	}
+	enc, err := snap.Encode(&snap.Snapshot{Kind: snap.KindOoO, OoO: st})
+	if err != nil {
+		return nil, err
+	}
+	return &forkPoint{enc: enc, threshold: thr}, nil
+}
+
+// forkRunner builds a closure running one (possibly faulted)
+// simulation, forking from the shared checkpoint when the trial is
+// eligible. Budgets of 0 keep the configuration's own values (unfaulted
+// run). A non-nil obs streams the run's cycle-level events (replay
+// debugging).
+func (c *Campaign) forkRunner(fork *forkPoint, faults []Fault, dataAddr, dataLen uint32, maxInst uint64, maxCycles int64, obs obsv.Observer) func(context.Context) runResult {
 	img := c.Image
 	textLen := uint32(len(img.Text)) * 4
 	if c.DiAG != nil {
@@ -330,7 +440,16 @@ func (c *Campaign) runner(faults []Fault, dataAddr, dataLen uint32, maxInst uint
 			cfg.MaxCycles = maxCycles
 		}
 		return func(ctx context.Context) runResult {
-			mach, err := diag.NewMachine(cfg, img)
+			var mach *diag.Machine
+			var err error
+			if fork.eligible(faults) {
+				var s *snap.Snapshot
+				if s, err = snap.Decode(fork.enc); err == nil {
+					mach, err = diag.NewMachineFromState(s.DiAG)
+				}
+			} else {
+				mach, err = diag.NewMachine(cfg, img)
+			}
 			if err != nil {
 				return runResult{err: err}
 			}
@@ -364,7 +483,16 @@ func (c *Campaign) runner(faults []Fault, dataAddr, dataLen uint32, maxInst uint
 		cfg.MaxCycles = maxCycles
 	}
 	return func(ctx context.Context) runResult {
-		mach, err := ooo.NewMachine(cfg, img)
+		var mach *ooo.Machine
+		var err error
+		if fork.eligible(faults) {
+			var s *snap.Snapshot
+			if s, err = snap.Decode(fork.enc); err == nil {
+				mach, err = ooo.NewMachineFromState(s.OoO)
+			}
+		} else {
+			mach, err = ooo.NewMachine(cfg, img)
+		}
 		if err != nil {
 			return runResult{err: err}
 		}

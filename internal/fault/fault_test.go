@@ -70,7 +70,7 @@ func TestOutcomeClasses(t *testing.T) {
 		t.Fatalf("golden: %v", err)
 	}
 	dataAddr, dataLen := c.dataRegion()
-	base := c.runner(nil, dataAddr, dataLen, 0, 0, nil)(context.Background())
+	base := c.forkRunner(nil, nil, dataAddr, dataLen, 0, 0, nil)(context.Background())
 	if base.err != nil {
 		t.Fatalf("unfaulted run: %v", base.err)
 	}
@@ -100,7 +100,7 @@ func TestOutcomeClasses(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res := c.runner([]Fault{tc.f}, dataAddr, dataLen, maxInst, maxCycles, nil)(context.Background())
+			res := c.forkRunner(nil, []Fault{tc.f}, dataAddr, dataLen, maxInst, maxCycles, nil)(context.Background())
 			got, msg := classify(res, golden)
 			if got != tc.want {
 				t.Fatalf("fault %v classified %v (err %q), want %v", tc.f, got, msg, tc.want)
@@ -125,7 +125,7 @@ func TestEnableFaultRemapsAndCompletes(t *testing.T) {
 	}
 	dataAddr, dataLen := c.dataRegion()
 	f := Fault{Cycle: 3, Class: SiteEnable, Index: 0, StuckAt: -1}
-	res := c.runner([]Fault{f}, dataAddr, dataLen, 0, 0, nil)(context.Background())
+	res := c.forkRunner(nil, []Fault{f}, dataAddr, dataLen, 0, 0, nil)(context.Background())
 	out, msg := classify(res, golden)
 	if out != Masked {
 		t.Fatalf("enable fault classified %v (err %q), want masked", out, msg)
@@ -286,7 +286,7 @@ func TestSelfCorrectingFaultMasked(t *testing.T) {
 		t.Fatalf("golden: %v", err)
 	}
 	dataAddr, dataLen := c.dataRegion()
-	base := c.runner(nil, dataAddr, dataLen, 0, 0, nil)(context.Background())
+	base := c.forkRunner(nil, nil, dataAddr, dataLen, 0, 0, nil)(context.Background())
 	if base.err != nil {
 		t.Fatalf("unfaulted run: %v", base.err)
 	}
@@ -299,7 +299,7 @@ func TestSelfCorrectingFaultMasked(t *testing.T) {
 		{Cycle: mid, Class: SiteLane, Index: 5, Bit: 29, StuckAt: -1},
 		{Cycle: mid + 1, Class: SiteLane, Index: 5, Bit: 29, StuckAt: -1},
 	}
-	res := c.runner(faults, dataAddr, dataLen, uint64(20_000), base.cycles*8+100_000, nil)(context.Background())
+	res := c.forkRunner(nil, faults, dataAddr, dataLen, uint64(20_000), base.cycles*8+100_000, nil)(context.Background())
 	if !res.injected {
 		t.Fatal("faults never injected")
 	}
@@ -325,7 +325,7 @@ func TestStalledHangFiresBeforeCycleBudget(t *testing.T) {
 	const budget = 10_000_000
 	cfg := diag.F4C2()
 	c := &Campaign{Image: img, DiAG: &cfg}
-	res := c.runner(nil, 0, 0, 0, budget, nil)(context.Background())
+	res := c.forkRunner(nil, nil, 0, 0, 0, budget, nil)(context.Background())
 	if !errors.Is(res.err, diagerr.ErrStalled) {
 		t.Fatalf("run error = %v, want ErrStalled", res.err)
 	}
@@ -387,5 +387,114 @@ func TestInjectorStuckAt(t *testing.T) {
 	}
 	if inj.Injected != 1 {
 		t.Fatalf("Injected = %d, want 1", inj.Injected)
+	}
+}
+
+// TestWarmupForkByteIdentical is the correctness gate for warmup
+// forking: a campaign with a warmup checkpoint must produce the exact
+// report — trial by trial, and rendered table byte for byte — of the
+// same campaign run entirely from reset, at any worker count. Warmup
+// may only change how fast the campaign finishes.
+func TestWarmupForkByteIdentical(t *testing.T) {
+	img := sumImage(t)
+	run := func(warmup uint64, workers int) *Report {
+		t.Helper()
+		c := sumCampaign(img)
+		c.Trials = 40
+		c.Warmup = warmup
+		c.Workers = workers
+		rep, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("campaign (warmup %d, workers %d): %v", warmup, workers, err)
+		}
+		return rep
+	}
+	want := run(0, 1)
+	for _, tc := range []struct {
+		warmup  uint64
+		workers int
+	}{{100, 1}, {100, 8}, {200, 4}} {
+		got := run(tc.warmup, tc.workers)
+		if !reflect.DeepEqual(got.Trials, want.Trials) {
+			for i := range want.Trials {
+				if !reflect.DeepEqual(got.Trials[i], want.Trials[i]) {
+					t.Fatalf("warmup %d workers %d: trial %d = %+v, want %+v",
+						tc.warmup, tc.workers, i, got.Trials[i], want.Trials[i])
+				}
+			}
+			t.Fatalf("warmup %d workers %d: trials diverge", tc.warmup, tc.workers)
+		}
+		if got.Table() != want.Table() {
+			t.Fatalf("warmup %d workers %d: table diverges:\n%s\nwant:\n%s",
+				tc.warmup, tc.workers, got.Table(), want.Table())
+		}
+	}
+}
+
+// TestWarmupForkByteIdenticalOoO is the same gate on the out-of-order
+// baseline's fork path.
+func TestWarmupForkByteIdenticalOoO(t *testing.T) {
+	img := sumImage(t)
+	run := func(warmup uint64) *Report {
+		t.Helper()
+		cfg := ooo.Baseline()
+		c := &Campaign{Image: img, OoO: &cfg, Seed: 42, Trials: 25, Warmup: warmup, Workers: 4}
+		rep, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("campaign (warmup %d): %v", warmup, err)
+		}
+		return rep
+	}
+	want, got := run(0), run(100)
+	if !reflect.DeepEqual(got.Trials, want.Trials) {
+		t.Fatal("OoO warmup campaign diverges from from-reset campaign")
+	}
+	if got.Table() != want.Table() {
+		t.Fatalf("OoO table diverges:\n%s\nwant:\n%s", got.Table(), want.Table())
+	}
+}
+
+// TestWarmupForkActuallyForks proves the fast path is exercised: the
+// sum kernel's checkpoint exists, and a fault scheduled past the
+// threshold runs through the snapshot-restore path to the same
+// classification as a from-reset run.
+func TestWarmupForkActuallyForks(t *testing.T) {
+	img := sumImage(t)
+	c := sumCampaign(img)
+	c.Warmup = 100
+	ctx := context.Background()
+	golden, _, err := goldenRun(img, 1_000_000)
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	dataAddr, dataLen := c.dataRegion()
+	base := c.forkRunner(nil, nil, dataAddr, dataLen, 0, 0, nil)(ctx)
+	if base.err != nil {
+		t.Fatalf("unfaulted run: %v", base.err)
+	}
+	maxInst := uint64(20_000)
+	maxCycles := base.cycles*8 + 100_000
+	fp, err := c.checkpoint(ctx, maxInst, maxCycles)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if fp == nil {
+		t.Fatal("warmup 100 did not pause the sum kernel — checkpoint is nil")
+	}
+	late := Fault{Cycle: fp.threshold + (base.cycles-fp.threshold)/2, Class: SiteLane, Index: 27, Bit: 3, StuckAt: -1}
+	faults := []Fault{late}
+	if !fp.eligible(faults) {
+		t.Fatalf("late fault at cycle %d not eligible past threshold %d", late.Cycle, fp.threshold)
+	}
+	forked := c.forkRunner(fp, faults, dataAddr, dataLen, maxInst, maxCycles, nil)(ctx)
+	straight := c.forkRunner(nil, faults, dataAddr, dataLen, maxInst, maxCycles, nil)(ctx)
+	if forked.digest != straight.digest || forked.cycles != straight.cycles || forked.injected != straight.injected {
+		t.Fatalf("forked run (digest %#x, cycles %d, injected %v) != straight run (digest %#x, cycles %d, injected %v)",
+			forked.digest, forked.cycles, forked.injected, straight.digest, straight.cycles, straight.injected)
+	}
+	outF, _ := classify(forked, golden)
+	outS, _ := classify(straight, golden)
+	if outF != outS {
+		t.Fatalf("forked classifies %v, straight %v", outF, outS)
 	}
 }

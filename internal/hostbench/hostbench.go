@@ -151,7 +151,7 @@ func benchOoOStep(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	_, _, err = diag.RunBaseline(diag.Baseline(), img, diag.WithMaxInstructions(uint64(b.N)))
+	_, err = diag.OoO(diag.Baseline()).Run(img, diag.WithMaxInstructions(uint64(b.N)))
 	if err != nil && !errors.Is(err, diag.ErrMaxInstructions) {
 		b.Fatal(err)
 	}
@@ -187,11 +187,11 @@ func benchE2E(b *testing.B, model, kernel string) {
 			}
 			total += st.Retired
 		case "ooo":
-			st, _, err := diag.RunBaseline(diag.Baseline(), img)
+			res, err := diag.OoO(diag.Baseline()).Run(img)
 			if err != nil {
 				b.Fatal(err)
 			}
-			total += st.Retired
+			total += res.Retired
 		default:
 			b.Fatalf("unknown model %q", model)
 		}

@@ -176,6 +176,12 @@ type Core struct {
 	obs  obsv.Observer // nil = observability off (the default)
 	unit int32         // core index, stamped into every emitted event
 
+	// steps counts loop iterations across the core's whole lifetime, so
+	// the context-poll, watchdog, and occupancy-sample cadences line up
+	// exactly whether a run executes straight through or is paused,
+	// snapshotted, and resumed.
+	steps uint64
+
 	now   int64
 	stats Stats
 }
@@ -254,6 +260,19 @@ func (c *Core) Run() error { return c.RunContext(context.Background()) }
 // budget: the core polls ctx as it retires instructions and aborts with
 // the context's error (deadline expiry mapped to diagerr.ErrTimeout).
 func (c *Core) RunContext(ctx context.Context) error {
+	_, err := c.RunUntil(ctx, 0)
+	return err
+}
+
+// RunUntil is RunContext with a pause point: when limit > 0 the core
+// additionally stops — returning (true, nil) with every piece of state
+// intact — once its total retired-instruction count reaches limit. A
+// paused core continues from exactly where it stopped on the next
+// RunUntil or RunContext call; the split run commits the same
+// instructions at the same cycles, polls the context and watchdog on
+// the same cadence, and emits the same observer events as an unpaused
+// one.
+func (c *Core) RunUntil(ctx context.Context, limit uint64) (paused bool, err error) {
 	cfg := c.cfg
 	done := ctx.Done()
 	// Hoist the observer nil check out of the inner loop (like the
@@ -261,21 +280,26 @@ func (c *Core) RunContext(ctx context.Context) error {
 	// path pays one register compare, no interface dispatch.
 	obs := c.obs
 	var ex iss.Exec // reused per-step scratch; StepInto overwrites it fully
-	for steps := uint64(0); !c.cpu.Halted && c.stats.Retired < cfg.MaxInstructions; steps++ {
+	stop := cfg.MaxInstructions
+	if limit > 0 && limit < stop {
+		stop = limit
+	}
+	for ; !c.cpu.Halted && c.stats.Retired < stop; c.steps++ {
+		steps := c.steps
 		if steps&(ctxPollInterval-1) == 0 {
 			select {
 			case <-done:
-				return diagerr.FromContext(ctx.Err())
+				return false, diagerr.FromContext(ctx.Err())
 			default:
 			}
 			if steps > 0 && c.watchdog.Stalled(c.cpu, c.stats.Stores) {
-				return diagerr.Wrap(diagerr.ErrStalled,
+				return false, diagerr.Wrap(diagerr.ErrStalled,
 					"ooo: no architectural progress after %d retired instructions (PC 0x%x)",
 					c.stats.Retired, c.cpu.PC)
 			}
 		}
 		if cfg.MaxCycles > 0 && c.now > cfg.MaxCycles {
-			return diagerr.Wrap(diagerr.ErrMaxCycles,
+			return false, diagerr.Wrap(diagerr.ErrMaxCycles,
 				"ooo: cycle budget %d exceeded after %d retired instructions", cfg.MaxCycles, c.stats.Retired)
 		}
 		if c.PreStep != nil {
@@ -284,7 +308,7 @@ func (c *Core) RunContext(ctx context.Context) error {
 		pc := c.cpu.PC
 		c.cpu.StepInto(&ex)
 		if c.cpu.Err != nil {
-			return fmt.Errorf("ooo: %w", c.cpu.Err)
+			return false, fmt.Errorf("ooo: %w", c.cpu.Err)
 		}
 		if c.cpu.Halted {
 			break
@@ -440,10 +464,10 @@ func (c *Core) RunContext(ctx context.Context) error {
 		}
 	}
 	if !c.cpu.Halted && c.stats.Retired >= cfg.MaxInstructions {
-		return diagerr.Wrap(diagerr.ErrMaxInstructions,
+		return false, diagerr.Wrap(diagerr.ErrMaxInstructions,
 			"ooo: instruction cap %d reached before halt", cfg.MaxInstructions)
 	}
-	return nil
+	return !c.cpu.Halted, nil
 }
 
 // emitOccupancy reports how many ROB/IQ/LSQ entries are still in flight

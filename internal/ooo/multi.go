@@ -16,25 +16,23 @@ import (
 // machine: each core's thread id is in tp (x4) and the thread count in
 // gp (x3).
 type Machine struct {
-	cfg   Config
-	mem   *mem.Memory
-	l2s   []*cache.Cache // per-core timing view of the shared L2 partition
-	dram  *cache.DRAM
+	cfg  Config
+	mem  *mem.Memory
+	l2s  []*cache.Cache // per-core timing view of the shared L2 partition
+	dram *cache.DRAM
+
 	cores []*Core
-	stats Stats
+
+	// nextCore is the first core that has not yet run to completion.
+	// Cores execute serially, so a paused multicore machine resumes at
+	// the core the pause interrupted.
+	nextCore int
 }
 
-// NewMachine builds and loads a machine for img.
-func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
-	cfg.setDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	m := mem.New()
-	entry, err := img.Load(m)
-	if err != nil {
-		return nil, err
-	}
+// buildMachine wires the cache hierarchy and cores above an
+// already-populated memory; cfg must have defaults applied and be
+// validated.
+func buildMachine(cfg Config, m *mem.Memory, entry uint32) *Machine {
 	mach := &Machine{cfg: cfg, mem: m, dram: &cache.DRAM{Latency: cfg.DRAMLatency}}
 	for i := 0; i < cfg.Cores; i++ {
 		// Cores run on independent timelines; like the DiAG rings, each
@@ -57,7 +55,21 @@ func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
 		core.cpu.X[isa.GP] = uint32(cfg.Cores)
 		mach.cores = append(mach.cores, core)
 	}
-	return mach, nil
+	return mach
+}
+
+// NewMachine builds and loads a machine for img.
+func NewMachine(cfg Config, img *mem.Image) (*Machine, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := mem.New()
+	entry, err := img.Load(m)
+	if err != nil {
+		return nil, err
+	}
+	return buildMachine(cfg, m, entry), nil
 }
 
 // Config returns the machine's configuration.
@@ -78,6 +90,25 @@ func (m *Machine) SetObserver(o obsv.Observer) {
 	}
 }
 
+// SetBudgets overrides the MaxInstructions and MaxCycles budgets of the
+// machine and every core (0 keeps the current value); used when a
+// restored snapshot's run should carry different budgets than the run
+// that produced it.
+func (m *Machine) SetBudgets(maxInst uint64, maxCycles int64) {
+	if maxInst > 0 {
+		m.cfg.MaxInstructions = maxInst
+		for _, c := range m.cores {
+			c.cfg.MaxInstructions = maxInst
+		}
+	}
+	if maxCycles > 0 {
+		m.cfg.MaxCycles = maxCycles
+		for _, c := range m.cores {
+			c.cfg.MaxCycles = maxCycles
+		}
+	}
+}
+
 // Run executes every core to completion; see diag.Machine.Run for the
 // data-parallel soundness argument.
 func (m *Machine) Run() error { return m.RunContext(context.Background()) }
@@ -86,25 +117,64 @@ func (m *Machine) Run() error { return m.RunContext(context.Background()) }
 // executes, so cancelling aborts the machine within a few thousand
 // simulated instructions.
 func (m *Machine) RunContext(ctx context.Context) error {
-	m.stats = Stats{}
-	for i, c := range m.cores {
-		if err := c.RunContext(ctx); err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return err // not the core's fault; keep the error unadorned
-			}
-			return fmt.Errorf("core %d: %w", i, err)
-		}
-		m.stats.Merge(c.Stats())
-	}
-	for _, l2 := range m.l2s {
-		mergeCache(&m.stats.L2, l2.Stats)
-	}
-	m.stats.DRAMAccesses = m.dram.Accesses
-	return nil
+	_, err := m.RunUntil(ctx, 0)
+	return err
 }
 
-// Stats returns aggregated statistics; valid after Run.
-func (m *Machine) Stats() Stats { return m.stats }
+// RunUntil is RunContext with a pause point: when limit > 0 the machine
+// additionally stops — returning (true, nil) with all state intact —
+// once the total retired-instruction count across cores reaches limit.
+// A paused machine continues exactly where it stopped on the next
+// RunUntil or RunContext call, producing the same cycles, statistics,
+// and observer events as an unpaused run.
+func (m *Machine) RunUntil(ctx context.Context, limit uint64) (paused bool, err error) {
+	for m.nextCore < len(m.cores) {
+		c := m.cores[m.nextCore]
+		coreLimit := uint64(0)
+		if limit > 0 {
+			total := m.totalRetired()
+			if total >= limit {
+				return true, nil
+			}
+			coreLimit = c.stats.Retired + (limit - total)
+		}
+		corePaused, err := c.RunUntil(ctx, coreLimit)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return false, err // not the core's fault; keep the error unadorned
+			}
+			return false, fmt.Errorf("core %d: %w", m.nextCore, err)
+		}
+		if corePaused {
+			return true, nil
+		}
+		m.nextCore++
+	}
+	return false, nil
+}
+
+func (m *Machine) totalRetired() uint64 {
+	var n uint64
+	for _, c := range m.cores {
+		n += c.stats.Retired
+	}
+	return n
+}
+
+// Stats aggregates the machine's statistics on demand: the merge over
+// all cores plus the shared L2 and DRAM counters. Valid at any point —
+// after Run, at a RunUntil pause, or mid-construction (all zeros).
+func (m *Machine) Stats() Stats {
+	var s Stats
+	for _, c := range m.cores {
+		s.Merge(c.Stats())
+	}
+	for _, l2 := range m.l2s {
+		mergeCache(&s.L2, l2.Stats)
+	}
+	s.DRAMAccesses = m.dram.Accesses
+	return s
+}
 
 // RunImage builds a machine, runs it, and returns stats and final memory.
 func RunImage(cfg Config, img *mem.Image) (Stats, *mem.Memory, error) {

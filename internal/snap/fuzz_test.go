@@ -1,0 +1,38 @@
+package snap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode asserts the decoder's two safety properties on arbitrary
+// input: it never panics, and anything it accepts re-encodes to exactly
+// the input (the format is canonical).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Schema))
+	f.Add([]byte(Schema + "\x01"))
+	seed := &Snapshot{Kind: KindISS, ISS: &ISSState{}}
+	if b, err := Encode(seed); err == nil {
+		f.Add(b)
+		// A flipped length byte deep in the payload.
+		bad := append([]byte(nil), b...)
+		if len(bad) > 40 {
+			bad[40] ^= 0x80
+		}
+		f.Add(bad)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Decode(b)
+		if err != nil {
+			return
+		}
+		b2, err := Encode(s)
+		if err != nil {
+			t.Fatalf("decoded snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("re-encode is not canonical: %d bytes in, %d out", len(b), len(b2))
+		}
+	})
+}

@@ -6,12 +6,9 @@ import (
 	"time"
 
 	"diag/internal/bench"
-	idiag "diag/internal/diag"
 	"diag/internal/diagerr"
 	"diag/internal/exp"
 	"diag/internal/obsv"
-	"diag/internal/ooo"
-	"diag/internal/trace"
 )
 
 // ---- Error taxonomy ----
@@ -59,6 +56,7 @@ type runOpts struct {
 	timeout    time.Duration
 	maxCycles  int64
 	maxInst    uint64
+	runUntil   uint64
 	trace      io.Writer
 	traceDepth int
 	obs        obsv.Observer
@@ -143,73 +141,6 @@ func applyOptions(opts []RunOption) (runOpts, context.Context, context.CancelFun
 	return o, ctx, cancel
 }
 
-// runDiAGMachine executes p on a DiAG machine configured by o.
-func runDiAGMachine(ctx context.Context, o runOpts, cfg Config, p *Program) (Stats, *Memory, error) {
-	if o.maxCycles > 0 {
-		cfg.MaxCycles = o.maxCycles
-	}
-	if o.maxInst > 0 {
-		cfg.MaxInstructions = o.maxInst
-	}
-	mach, err := idiag.NewMachine(cfg, p)
-	if err != nil {
-		return Stats{}, nil, err
-	}
-	if o.obs != nil {
-		mach.SetObserver(o.obs)
-	}
-	var rec *trace.Recorder
-	if o.trace != nil {
-		rec = trace.NewRecorder(o.traceDepth)
-		for i := 0; i < mach.Config().Rings; i++ {
-			mach.Ring(i).CPU().Hook = rec.Record
-		}
-	}
-	runErr := mach.RunContext(ctx)
-	if rec != nil {
-		io.WriteString(o.trace, rec.MixSummary())
-		io.WriteString(o.trace, rec.Format())
-	}
-	if runErr != nil {
-		return Stats{}, nil, runErr
-	}
-	return mach.Stats(), mach.Mem(), nil
-}
-
-// runBaselineMachine executes p on the out-of-order baseline configured
-// by o.
-func runBaselineMachine(ctx context.Context, o runOpts, cfg BaselineConfig, p *Program) (BaselineStats, *Memory, error) {
-	if o.maxCycles > 0 {
-		cfg.MaxCycles = o.maxCycles
-	}
-	if o.maxInst > 0 {
-		cfg.MaxInstructions = o.maxInst
-	}
-	mach, err := ooo.NewMachine(cfg, p)
-	if err != nil {
-		return BaselineStats{}, nil, err
-	}
-	if o.obs != nil {
-		mach.SetObserver(o.obs)
-	}
-	var rec *trace.Recorder
-	if o.trace != nil {
-		rec = trace.NewRecorder(o.traceDepth)
-		for i := 0; i < mach.Config().Cores; i++ {
-			mach.Core(i).CPU().Hook = rec.Record
-		}
-	}
-	runErr := mach.RunContext(ctx)
-	if rec != nil {
-		io.WriteString(o.trace, rec.MixSummary())
-		io.WriteString(o.trace, rec.Format())
-	}
-	if runErr != nil {
-		return BaselineStats{}, nil, runErr
-	}
-	return mach.Stats(), mach.Mem(), nil
-}
-
 // ---- Parallel experiment engine ----
 
 // SweepJob is one independent simulation in a sweep, conventionally
@@ -247,6 +178,9 @@ func SimJob(name string, cfg Config, p *Program, opts ...RunOption) SweepJob {
 
 // BaselineJob builds a sweep job that runs p on the out-of-order
 // baseline with cfg; the result value is BaselineStats.
+//
+// Deprecated: Use TargetJob(name, OoO(cfg), p, opts...), whose result
+// value is *Result.
 func BaselineJob(name string, cfg BaselineConfig, p *Program, opts ...RunOption) SweepJob {
 	return SweepJob{Name: name, Run: func(ctx context.Context) (any, error) {
 		st, _, err := RunBaseline(cfg, p, append(opts, WithContext(ctx))...)

@@ -48,9 +48,9 @@ func TestWithMaxCycles(t *testing.T) {
 	if !errors.Is(err, diag.ErrMaxCycles) {
 		t.Errorf("Run: err = %v, want ErrMaxCycles", err)
 	}
-	_, _, err = diag.RunBaseline(diag.Baseline(), img, diag.WithMaxCycles(1000))
+	_, err = diag.OoO(diag.Baseline()).Run(img, diag.WithMaxCycles(1000))
 	if !errors.Is(err, diag.ErrMaxCycles) {
-		t.Errorf("RunBaseline: err = %v, want ErrMaxCycles", err)
+		t.Errorf("OoO Run: err = %v, want ErrMaxCycles", err)
 	}
 }
 
@@ -63,9 +63,9 @@ func TestWithMaxInstructions(t *testing.T) {
 	if errors.Is(err, diag.ErrMaxCycles) {
 		t.Error("instruction-budget error must not match ErrMaxCycles")
 	}
-	_, _, err = diag.RunBaseline(diag.Baseline(), img, diag.WithMaxInstructions(5000))
+	_, err = diag.OoO(diag.Baseline()).Run(img, diag.WithMaxInstructions(5000))
 	if !errors.Is(err, diag.ErrMaxInstructions) {
-		t.Errorf("RunBaseline: err = %v, want ErrMaxInstructions", err)
+		t.Errorf("OoO Run: err = %v, want ErrMaxInstructions", err)
 	}
 }
 
@@ -94,9 +94,9 @@ func TestWithContextCancellation(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("Run: err = %v, want context.Canceled", err)
 	}
-	_, _, err = diag.RunBaseline(diag.Baseline(), img, diag.WithContext(ctx))
+	_, err = diag.OoO(diag.Baseline()).Run(img, diag.WithContext(ctx))
 	if !errors.Is(err, context.Canceled) {
-		t.Errorf("RunBaseline: err = %v, want context.Canceled", err)
+		t.Errorf("OoO Run: err = %v, want context.Canceled", err)
 	}
 }
 
@@ -105,8 +105,8 @@ func TestBadProgramTaxonomy(t *testing.T) {
 	if _, _, err := diag.Run(diag.F4C2(), img); !errors.Is(err, diag.ErrBadProgram) {
 		t.Errorf("Run: err = %v, want ErrBadProgram", err)
 	}
-	if _, _, err := diag.RunBaseline(diag.Baseline(), img); !errors.Is(err, diag.ErrBadProgram) {
-		t.Errorf("RunBaseline: err = %v, want ErrBadProgram", err)
+	if _, err := diag.OoO(diag.Baseline()).Run(img); !errors.Is(err, diag.ErrBadProgram) {
+		t.Errorf("OoO Run: err = %v, want ErrBadProgram", err)
 	}
 	if _, err := diag.Interpret(img, 1000); !errors.Is(err, diag.ErrBadProgram) {
 		t.Errorf("Interpret: err = %v, want ErrBadProgram", err)
@@ -122,9 +122,9 @@ func TestStalledTaxonomy(t *testing.T) {
 	if errors.Is(err, diag.ErrMaxCycles) || errors.Is(err, diag.ErrMaxInstructions) {
 		t.Error("a proven livelock must not match the budget sentinels")
 	}
-	_, _, err = diag.RunBaseline(diag.Baseline(), img)
+	_, err = diag.OoO(diag.Baseline()).Run(img)
 	if !errors.Is(err, diag.ErrStalled) {
-		t.Errorf("RunBaseline: err = %v, want ErrStalled", err)
+		t.Errorf("OoO Run: err = %v, want ErrStalled", err)
 	}
 }
 
@@ -162,7 +162,7 @@ func TestSweepOrderingAndTaxonomy(t *testing.T) {
 	jobs := []diag.SweepJob{
 		diag.SimJob("good/F4C2", diag.F4C2(), good),
 		diag.SimJob("bad/F4C2", diag.F4C2(), bad),
-		diag.BaselineJob("good/OoO", diag.Baseline(), good),
+		diag.TargetJob("good/OoO", diag.OoO(diag.Baseline()), good),
 	}
 	results, err := diag.Sweep(context.Background(), jobs, diag.SweepOptions{Workers: 3})
 	if err != nil {
@@ -182,7 +182,7 @@ func TestSweepOrderingAndTaxonomy(t *testing.T) {
 	if !errors.Is(results[1].Err, diag.ErrBadProgram) {
 		t.Errorf("result 1: err = %v, want ErrBadProgram", results[1].Err)
 	}
-	if st, ok := results[2].Value.(diag.BaselineStats); !ok || st.Cycles <= 0 {
+	if res, ok := results[2].Value.(*diag.Result); !ok || res.Cycles <= 0 || res.Baseline == nil {
 		t.Errorf("result 2: value = %#v, err = %v", results[2].Value, results[2].Err)
 	}
 }

@@ -1,0 +1,93 @@
+package diag_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestApplyOptionsCallersDeferCancel is a vet-style guard on the
+// package's context discipline: applyOptions returns a
+// context.CancelFunc that every caller must release, and a forgotten
+// cancel on a WithTimeout run leaks its timer goroutine. The test
+// parses the root package and requires that the statement immediately
+// following every applyOptions call defers the returned cancel.
+func TestApplyOptionsCallersDeferCancel(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["diag"]
+	if !ok {
+		t.Fatal("package diag not found")
+	}
+	calls := 0
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				cancelName, ok := applyOptionsAssign(stmt)
+				if !ok {
+					continue
+				}
+				calls++
+				pos := fset.Position(stmt.Pos())
+				if i+1 >= len(block.List) {
+					t.Errorf("%s: applyOptions call is the last statement; the returned %s leaks", pos, cancelName)
+					continue
+				}
+				if !isDeferOf(block.List[i+1], cancelName) {
+					t.Errorf("%s: statement after applyOptions must be `defer %s()`", pos, cancelName)
+				}
+			}
+			return true
+		})
+	}
+	if calls == 0 {
+		t.Fatal("no applyOptions call sites found — the guard is vacuous")
+	}
+}
+
+// applyOptionsAssign matches `a, b, cancel := applyOptions(...)` and
+// returns the name bound to the CancelFunc.
+func applyOptionsAssign(stmt ast.Stmt) (string, bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return "", false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "applyOptions" {
+		return "", false
+	}
+	if len(as.Lhs) != 3 {
+		return "", true // malformed; flagged by the caller as not deferred
+	}
+	id, ok := as.Lhs[2].(*ast.Ident)
+	if !ok {
+		return "", true
+	}
+	return id.Name, true
+}
+
+// isDeferOf reports whether stmt is `defer name()`.
+func isDeferOf(stmt ast.Stmt, name string) bool {
+	d, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	id, ok := d.Call.Fun.(*ast.Ident)
+	return ok && id.Name == name
+}
