@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke difftest-smoke docs-check trace-smoke snap-smoke api-check
+.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke difftest-smoke docs-check trace-smoke snap-smoke resume-smoke api-check
 
 all: build vet test
 
@@ -32,6 +32,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/isa/
 	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) ./internal/asm/
 	$(GO) test -run=NONE -fuzz=FuzzMemoryOps -fuzztime=$(FUZZTIME) ./internal/mem/
+	$(GO) test -run=NONE -fuzz=FuzzScan -fuzztime=$(FUZZTIME) ./internal/journal/
 
 # Differential conformance smoke: random programs across the full
 # architecture matrix (ISS / DiAG ring configs / OoO). Exit 1 on any
@@ -91,6 +92,13 @@ snap-smoke:
 	$(GO) build -o /tmp/diag-trace ./cmd/diag-trace
 	/tmp/diag-trace -kernel pathfinder -from-cycle 30000 -o /tmp/tail.json
 	/tmp/diag-trace -validate /tmp/tail.json
+
+# Crash-safety smoke: SIGKILL a journaled fault campaign and a journaled
+# conformance campaign at ~50% completion, resume each from its journal
+# at a different parallelism, and require the final reports to be
+# byte-identical to uninterrupted runs.
+resume-smoke:
+	./scripts/resume_smoke.sh
 
 # Public-API compatibility: the exported surface of package diag must
 # match testdata/api.txt; regenerate deliberately with

@@ -11,21 +11,27 @@
 //	diag-bench -all -timeout 2m      # bound each simulation's wall clock
 //
 // Ctrl-C cancels the sweep; in-flight simulations abort within a few
-// thousand simulated instructions.
+// thousand simulated instructions. With -journal every finished
+// simulation is recorded durably, and -resume (with the same figure
+// selection and scale) replays them instead of re-simulating:
+//
+//	diag-bench -all -scale 2 -journal figs.journal
+//	diag-bench -all -scale 2 -journal figs.journal -resume
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"time"
 
 	"diag/internal/bench"
 	"diag/internal/cliutil"
 	"diag/internal/exp"
+	"diag/internal/journal"
 )
 
 // order keeps -all output in the paper's order.
@@ -58,10 +64,11 @@ func main() {
 	defer stopProfile()
 	defer writeHeapProfile(*memprofile)
 
-	// Ctrl-C cancels the whole sweep rather than killing the process
-	// mid-write; a second Ctrl-C kills immediately (signal.NotifyContext
-	// restores the default handler once the context is done).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C (or SIGTERM) cancels the whole sweep rather than killing the
+	// process mid-write; a second signal kills immediately
+	// (signal.NotifyContext restores the default handler once the
+	// context is done).
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
 
 	w, err := core.Output()
@@ -70,10 +77,42 @@ func main() {
 	}
 	defer w.Close()
 
+	// The journal identifies the regeneration by its figure selection and
+	// scale: a resume must request the same sequence of sweeps.
+	var mode string
+	switch {
+	case *sweep != "":
+		mode = "sweep:" + *sweep
+	case *all:
+		mode = "all"
+	case *stalls:
+		mode = "stalls"
+	case *fig != "":
+		mode = "fig:" + *fig
+	}
+	if mode != "" {
+		jour, _, err = core.OpenJournal("diag-bench", journal.Manifest{
+			Tool: "diag-bench",
+			ConfigDigest: journal.DigestJSON(struct {
+				Mode  string
+				Scale int
+			}{mode, *scale}),
+			Note: mode,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if jour != nil {
+			defer jour.Close()
+		}
+	}
+
 	runner := bench.NewRunner(ctx, bench.Options{
 		Workers:    *core.Parallel,
 		Timeout:    *core.Timeout,
 		OnProgress: progressFunc(*progress),
+		Journal:    jour,
+		Retry:      core.Retry(),
 	})
 
 	figures := map[string]func(int) (*bench.Figure, error){
@@ -131,6 +170,9 @@ func progressFunc(enabled bool) func(exp.Progress) {
 	}
 	return func(p exp.Progress) {
 		status := "ok"
+		if p.Replayed {
+			status = "replay"
+		}
 		if p.Err != nil {
 			status = "FAIL"
 		}
@@ -151,7 +193,15 @@ func emit(w io.Writer, f func(int) (*bench.Figure, error), scale int, render fun
 	fmt.Fprintln(w, render(fig))
 }
 
+// jour is the run journal when -journal is set; fatal consults it so an
+// interruption anywhere in a figure sequence prints the resume command.
+var jour *journal.Journal
+
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		cliutil.Interrupted("diag-bench", jour)
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "diag-bench:", err)
 	os.Exit(1)
 }

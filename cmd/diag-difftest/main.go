@@ -14,6 +14,13 @@
 //	diag-difftest -seed 42 -n 1000 -arch-matrix ring,ooo -parallel 8
 //	diag-difftest -seed 7 -n 500 -shrink -emit-test
 //
+// With -journal the fuzzing session is crash-safe: finished trials are
+// recorded durably, Ctrl-C drains cleanly, and -resume continues where
+// the session stopped with a byte-identical final report:
+//
+//	diag-difftest -seed 1 -n 100000 -journal fuzz.journal
+//	diag-difftest -seed 1 -n 100000 -journal fuzz.journal -resume
+//
 // The report goes to stdout; progress and timing go to stderr. Exit
 // status is 1 when any trial diverged (or the generator itself broke),
 // 0 when every architecture agreed.
@@ -21,11 +28,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -57,7 +64,7 @@ func main() {
 		fatal(fmt.Errorf("usage: diag-difftest [flags]  (programs are generated, not read from files)"))
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
 	ctx, cancel := core.Context(ctx)
 	defer cancel()
@@ -69,11 +76,35 @@ func main() {
 		Shrink:  *shrink,
 		Workers: *core.Parallel,
 		Gen:     difftest.GenOptions{MaxAtoms: *maxAtoms},
+		Retry:   core.Retry(),
+	}
+
+	jour, jstate, err := core.OpenJournal("diag-difftest", opt.Manifest("diag-difftest"))
+	if err != nil {
+		fatal(err)
+	}
+	if jour != nil {
+		opt.Journal = jour
+		defer jour.Close()
+	}
+	if jstate != nil {
+		// A trial that was in flight when the last run died is the prime
+		// wedge suspect; its seed reproduces it in isolation.
+		for _, sw := range jstate.Sweeps {
+			for _, i := range sw.Wedged() {
+				fmt.Fprintf(os.Stderr, "diag-difftest: trial %d may wedge; reproduce it alone with: diag-difftest -seed %d -n 1\n",
+					i, difftest.TrialSeed(*core.Seed, i))
+			}
+		}
 	}
 
 	start := time.Now()
 	rep, err := difftest.Run(ctx, opt)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			cliutil.Interrupted("diag-difftest", jour)
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	w, err := core.Output()

@@ -12,14 +12,21 @@
 //	diag-fault -workload pathfinder -n 1000 -seed 42 -parallel 8
 //	diag-fault -machine ooo -sites lane,pc,rob,iq -n 500 prog.s
 //	diag-fault -machine F4C16 -degrade 8 -workload hotspot
+//
+// With -journal the campaign is crash-safe: every classified trial is
+// recorded durably as it completes, Ctrl-C drains cleanly, and the run
+// continues where it stopped — still byte-identical:
+//
+//	diag-fault -workload hotspot -n 10000 -journal run.journal
+//	diag-fault -workload hotspot -n 10000 -journal run.journal -resume
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
 	"time"
 
@@ -47,7 +54,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print every trial")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
 
 	img, label, err := buildProgram(*workload, workloads.Params{Scale: *scale})
@@ -78,6 +85,7 @@ func main() {
 		Workers: *core.Parallel,
 		Timeout: *core.Timeout,
 		Warmup:  *warmup,
+		Retry:   core.Retry(),
 	}
 	if strings.EqualFold(*machine, "ooo") {
 		cfg := ooo.Baseline()
@@ -96,9 +104,32 @@ func main() {
 		}
 	}
 
+	jour, jstate, err := core.OpenJournal("diag-fault", c.Manifest("diag-fault"))
+	if err != nil {
+		fatal(err)
+	}
+	if jour != nil {
+		c.Journal = jour
+		defer jour.Close()
+	}
+	if jstate != nil {
+		// Wedge suspects carry their trial seed so one can be replayed
+		// in isolation while the campaign resumes.
+		for _, sw := range jstate.Sweeps {
+			for _, i := range sw.Wedged() {
+				fmt.Fprintf(os.Stderr, "diag-fault: trial %d may wedge; reproduce it alone with: diag-fault -n 1 -seed %d <same program flags>\n",
+					i, fault.TrialSeed(*core.Seed, i))
+			}
+		}
+	}
+
 	start := time.Now()
 	rep, err := c.Run(ctx)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			cliutil.Interrupted("diag-fault", jour)
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	rep.Workload = label

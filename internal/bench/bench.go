@@ -27,6 +27,7 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -35,6 +36,7 @@ import (
 
 	"diag/internal/diag"
 	"diag/internal/exp"
+	"diag/internal/journal"
 	"diag/internal/mem"
 	"diag/internal/ooo"
 	"diag/internal/power"
@@ -110,6 +112,45 @@ type Options struct {
 	Timeout time.Duration
 	// OnProgress, when non-nil, observes every completed simulation.
 	OnProgress func(exp.Progress)
+	// Journal, when non-nil, records every simulation's stats durably as
+	// they complete; a resumed regeneration replays recorded simulations
+	// and runs only the rest. Each figure is one journal sweep, so the
+	// same figure sequence must be requested on resume.
+	Journal *journal.Journal
+	// Retry re-attempts transient simulation failures (wall-clock
+	// timeouts, panics) with deterministic backoff.
+	Retry exp.Retry
+}
+
+// statsPayload is the journal encoding of a simulation result: exactly
+// one of the two stats kinds, tagged by field.
+type statsPayload struct {
+	DiAG *diag.Stats `json:",omitempty"`
+	OoO  *ooo.Stats  `json:",omitempty"`
+}
+
+func encodeStats(v any) ([]byte, error) {
+	switch st := v.(type) {
+	case diag.Stats:
+		return json.Marshal(statsPayload{DiAG: &st})
+	case ooo.Stats:
+		return json.Marshal(statsPayload{OoO: &st})
+	}
+	return nil, fmt.Errorf("bench: unjournalable result type %T", v)
+}
+
+func decodeStats(b []byte) (any, error) {
+	var p statsPayload
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.DiAG != nil:
+		return *p.DiAG, nil
+	case p.OoO != nil:
+		return *p.OoO, nil
+	}
+	return nil, fmt.Errorf("bench: journaled result tags neither machine")
 }
 
 // Runner regenerates figures by fanning their simulations across the
@@ -131,10 +172,11 @@ func NewRunner(ctx context.Context, opt Options) *Runner {
 // serialRunner backs the package-level generators.
 func serialRunner() *Runner { return NewRunner(context.Background(), Options{Workers: 1}) }
 
-// run submits jobs to the engine and applies the figure generators'
-// all-or-nothing error policy: the first simulation failure cancels the
-// remaining jobs and fails the figure.
-func (r *Runner) run(jobs []exp.Job) ([]exp.Result, error) {
+// run submits one figure's jobs to the engine (label names its journal
+// sweep) and applies the figure generators' all-or-nothing error policy:
+// the first simulation failure cancels the remaining jobs and fails the
+// figure.
+func (r *Runner) run(label string, jobs []exp.Job) ([]exp.Result, error) {
 	workers := r.opt.Workers
 	if workers <= 0 {
 		workers = 1
@@ -158,9 +200,17 @@ func (r *Runner) run(jobs []exp.Job) ([]exp.Result, error) {
 			r.opt.OnProgress(p)
 		}
 	}
-	res, err := exp.Run(ctx, jobs, exp.Options{
+	eopt := exp.Options{
 		Workers: workers, Timeout: r.opt.Timeout, OnProgress: onProgress,
-	})
+		Retry: r.opt.Retry,
+	}
+	if r.opt.Journal != nil {
+		eopt.Journal = &exp.JournalBinding{
+			Log: r.opt.Journal, Label: label,
+			Encode: encodeStats, Decode: decodeStats,
+		}
+	}
+	res, err := exp.Run(ctx, jobs, eopt)
 	mu.Lock()
 	fe := firstErr
 	mu.Unlock()
@@ -170,7 +220,9 @@ func (r *Runner) run(jobs []exp.Job) ([]exp.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := exp.FirstErr(res); err != nil {
+	// Every distinct simulation failure, not just the first: a figure
+	// that fails on three workloads reports all three.
+	if err := exp.Errors(res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -246,7 +298,7 @@ func (r *Runner) singleThread(id, title string, suite workloads.Suite, scale int
 			jobs = append(jobs, diagJob(w, p, cfg))
 		}
 	}
-	res, err := r.run(jobs)
+	res, err := r.run(id, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +342,7 @@ func (r *Runner) multiThread(id, title string, suite workloads.Suite, scale int)
 		}
 		slots = append(slots, s)
 	}
-	res, err := r.run(jobs)
+	res, err := r.run(id, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +407,7 @@ func (r *Runner) Fig11(scale int) (*Figure, error) {
 		ws = append(ws, w)
 		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: 1}, cfg))
 	}
-	res, err := r.run(jobs)
+	res, err := r.run("Fig 11", jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -408,7 +460,7 @@ func (r *Runner) Fig12(scale int) (*Figure, error) {
 		}
 		slots = append(slots, s)
 	}
-	res, err := r.run(jobs)
+	res, err := r.run("Fig 12", jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -446,7 +498,7 @@ func (r *Runner) StallBreakdown(scale int) (*Figure, error) {
 	for _, w := range ws {
 		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: 1}, cfg))
 	}
-	res, err := r.run(jobs)
+	res, err := r.run("§7.3.2", jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -495,7 +547,7 @@ func (r *Runner) ScalingSweep(name string, clusterCounts []int, scale int) (*Fig
 		cfgs = append(cfgs, cfg)
 		jobs = append(jobs, diagJob(w, p, cfg))
 	}
-	res, err := r.run(jobs)
+	res, err := r.run("sweep", jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -2,11 +2,14 @@ package cliutil
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"diag/internal/journal"
 )
 
 func TestFlagsRegistersCoreSet(t *testing.T) {
@@ -79,5 +82,95 @@ func TestOpenOutput(t *testing.T) {
 	b, err := os.ReadFile(path)
 	if err != nil || string(b) != "hi" {
 		t.Errorf("read back %q, %v", b, err)
+	}
+}
+
+func TestFlagsRegistersJournalSet(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	core := Flags(fs)
+	for _, name := range []string{"journal", "resume", "retries", "retry-delay"} {
+		if !Lookup(fs, name) {
+			t.Errorf("journal flag -%s not registered", name)
+		}
+	}
+	if err := fs.Parse([]string{"-journal", "run.j", "-resume", "-retries", "2", "-retry-delay", "100ms", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if *core.Journal != "run.j" || !*core.Resume || *core.Retries != 2 || *core.RetryDelay != 100*time.Millisecond {
+		t.Errorf("parsed %q/%v/%d/%v", *core.Journal, *core.Resume, *core.Retries, *core.RetryDelay)
+	}
+	r := core.Retry()
+	if r.Max != 2 || r.BaseDelay != 100*time.Millisecond || r.MaxDelay != 800*time.Millisecond || r.Seed != 9 {
+		t.Errorf("Retry() = %+v", r)
+	}
+}
+
+func TestOpenJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.journal")
+	m := journal.Manifest{Tool: "t", Seed: 1, Jobs: 2}
+	newCore := func(p string, resume bool) *Core {
+		return &Core{Journal: &p, Resume: &resume}
+	}
+
+	// No -journal: no journal, no error — unless -resume dangles.
+	if j, st, err := newCore("", false).OpenJournal("t", m); j != nil || st != nil || err != nil {
+		t.Fatalf("unset journal: %v/%v/%v", j, st, err)
+	}
+	if _, _, err := newCore("", true).OpenJournal("t", m); err == nil {
+		t.Fatal("-resume without -journal must fail")
+	}
+
+	// Fresh create, then record a little progress.
+	j, st, err := newCore(path, false).OpenJournal("t", m)
+	if err != nil || st != nil {
+		t.Fatalf("create: %v, st=%v", err, st)
+	}
+	sw, err := j.BeginSweep(2, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Started(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Done(0, []byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A non-empty journal without -resume is refused, not truncated.
+	if _, _, err := newCore(path, false).OpenJournal("t", m); err == nil {
+		t.Fatal("existing journal without -resume must be refused")
+	}
+
+	// Resume recovers the recorded progress; a mismatched campaign is
+	// refused.
+	j2, st2, err := newCore(path, true).OpenJournal("t", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if done, total := st2.CountDone(); done != 1 || total != 2 {
+		t.Fatalf("recovered %d/%d", done, total)
+	}
+	bad := m
+	bad.Seed = 2
+	if _, _, err := newCore(path, true).OpenJournal("t", bad); !errors.Is(err, journal.ErrMismatch) {
+		t.Fatalf("mismatch: %v", err)
+	}
+}
+
+func TestResumeCommand(t *testing.T) {
+	orig := os.Args
+	defer func() { os.Args = orig }()
+	os.Args = []string{"diag-fault", "-n", "10", "-journal", "x.j"}
+	if got, want := ResumeCommand(), "diag-fault -n 10 -journal x.j -resume"; got != want {
+		t.Errorf("ResumeCommand() = %q, want %q", got, want)
+	}
+	os.Args = []string{"diag-fault", "-journal", "x.j", "-resume"}
+	if got, want := ResumeCommand(), "diag-fault -journal x.j -resume"; got != want {
+		t.Errorf("ResumeCommand() with -resume = %q, want %q", got, want)
 	}
 }

@@ -13,6 +13,9 @@
 //	                     livelock: the full architectural state recurred
 //	                     with no intervening store, so the program can
 //	                     never halt.
+//	ErrPanic           — the simulator itself panicked while running a
+//	                     job; the experiment engine recovers the panic
+//	                     and tags the failure with this sentinel.
 //
 // The concrete errors the simulators return carry human-readable
 // messages ("iss: misaligned lw at 0x104 (PC 0x40)") and match the
@@ -34,6 +37,7 @@ var (
 	ErrMaxInstructions = errors.New("instruction budget exceeded")
 	ErrBadProgram      = errors.New("bad program")
 	ErrStalled         = errors.New("no architectural progress")
+	ErrPanic           = errors.New("job panicked")
 )
 
 // taggedError is a formatted message that matches one or more taxonomy

@@ -2,11 +2,14 @@ package difftest
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"diag/internal/exp"
+	"diag/internal/journal"
 )
 
 // seedStride separates per-trial RNG streams (the 32-bit golden ratio,
@@ -27,6 +30,43 @@ type Options struct {
 
 	Shrink  bool // minimize each divergent program
 	Workers int  // parallel trial runners (<=0: GOMAXPROCS)
+
+	// Journal, when non-nil, records every trial's report durably as it
+	// completes; a resumed campaign replays recorded trials and runs
+	// only the rest, yielding a byte-identical report.
+	Journal *journal.Journal
+
+	// Retry re-attempts transient trial failures (panic-recovered
+	// models) with deterministic backoff; divergences — deterministic by
+	// construction — are never retried. Seed defaults to Options.Seed.
+	Retry exp.Retry
+}
+
+// Manifest is the campaign's identity for the run journal: the seed,
+// trial count, arch matrix, generator shape, and whether divergent
+// trials are shrunk (a journaled trial report includes its minimal
+// reproducer, so flipping -shrink changes the recorded payloads).
+// Worker count is excluded — it never changes which trials diverge.
+func (o Options) Manifest(tool string) journal.Manifest {
+	trials := o.Trials
+	if trials <= 0 {
+		trials = 100
+	}
+	archs := o.Archs
+	if archs == "" {
+		archs = "all"
+	}
+	cfg := struct {
+		Gen    GenOptions
+		Shrink bool
+	}{o.Gen, o.Shrink}
+	return journal.Manifest{
+		Tool:         tool,
+		Seed:         o.Seed,
+		Jobs:         trials,
+		ConfigDigest: journal.DigestJSON(cfg),
+		Note:         archs,
+	}
 }
 
 // TrialReport is the outcome of one generated program.
@@ -84,9 +124,31 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 			},
 		}
 	}
-	results, err := exp.Run(ctx, jobs, exp.Options{Workers: opt.Workers})
+	retry := opt.Retry
+	if retry.Seed == 0 {
+		retry.Seed = opt.Seed
+	}
+	eopt := exp.Options{Workers: opt.Workers, Retry: retry}
+	if opt.Journal != nil {
+		eopt.Journal = &exp.JournalBinding{
+			Log:    opt.Journal,
+			Label:  "trials",
+			Encode: func(v any) ([]byte, error) { return json.Marshal(v) },
+			Decode: func(b []byte) (any, error) {
+				var tr TrialReport
+				if err := json.Unmarshal(b, &tr); err != nil {
+					return nil, err
+				}
+				return tr, nil
+			},
+		}
+	}
+	results, err := exp.Run(ctx, jobs, eopt)
 	if err != nil {
-		return nil, err
+		// Surface every distinct trial failure alongside the run error;
+		// errors.Is(err, context.Canceled) still matches for the CLI's
+		// interruption banner.
+		return nil, errors.Join(err, exp.Errors(results))
 	}
 
 	rep := &Report{Seed: opt.Seed, Trials: trials}

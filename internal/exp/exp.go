@@ -17,7 +17,15 @@
 //     fails with an error matching diagerr.ErrTimeout while the rest of
 //     the sweep continues;
 //   - panic isolation: a wedged or buggy machine model fails its own
-//     job with a captured stack trace instead of killing the sweep.
+//     job with a captured stack trace (matching diagerr.ErrPanic)
+//     instead of killing the sweep;
+//   - durability: Options.Journal records every job transition in a
+//     crash-safe run journal; a resumed sweep replays journaled results
+//     in submission order and runs only the remainder, so the results
+//     are identical to an uninterrupted run;
+//   - retries: Options.Retry re-attempts transient failures (timeouts,
+//     stalls, panics) with deterministic seed-jittered exponential
+//     backoff, never touching deterministic failures.
 package exp
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"diag/internal/diagerr"
+	"diag/internal/journal"
 )
 
 // Job is one independent unit of simulation work.
@@ -50,6 +59,12 @@ type Result struct {
 	Value   any // what Job.Run returned; nil on error
 	Err     error
 	Elapsed time.Duration
+	// Attempts is how many times the job ran (>1 only under a Retry
+	// policy; 0 for jobs never started or replayed from a journal).
+	Attempts int
+	// Replayed marks a result re-emitted from the run journal instead
+	// of executed in this process.
+	Replayed bool
 }
 
 // Progress is delivered to Options.OnProgress after each job finishes.
@@ -60,6 +75,9 @@ type Progress struct {
 	Total   int    // jobs submitted
 	Err     error  // the job's error, if any
 	Elapsed time.Duration
+	// Replayed marks a journaled result re-emitted on resume rather
+	// than a job that ran now.
+	Replayed bool
 }
 
 // Options configure a sweep.
@@ -73,6 +91,12 @@ type Options struct {
 	// OnProgress, when non-nil, observes every completed job. Calls are
 	// serialized; keep the callback cheap.
 	OnProgress func(Progress)
+	// Journal, when non-nil with an open Log, makes the sweep durable
+	// and resumable: completed jobs are skipped and their journaled
+	// results re-emitted in order.
+	Journal *JournalBinding
+	// Retry re-attempts transient job failures (see Retry).
+	Retry Retry
 }
 
 // Run executes jobs across a bounded worker pool and returns one result
@@ -92,19 +116,6 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 		workers = len(jobs)
 	}
 
-	// Feed indices; stop feeding the moment ctx is done.
-	feed := make(chan int)
-	go func() {
-		defer close(feed)
-		for i := range jobs {
-			select {
-			case feed <- i:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-
 	var (
 		mu   sync.Mutex
 		done int
@@ -119,10 +130,68 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 		if opt.OnProgress != nil {
 			opt.OnProgress(Progress{
 				Name: r.Name, Index: i, Done: done, Total: len(jobs),
-				Err: r.Err, Elapsed: r.Elapsed,
+				Err: r.Err, Elapsed: r.Elapsed, Replayed: r.Replayed,
 			})
 		}
 	}
+
+	// With a journal bound, open this run's sweep and replay previously
+	// completed jobs — in submission order, before anything runs — so a
+	// resumed sweep emits the exact progress/result sequence of an
+	// uninterrupted one for those jobs.
+	var sweep *journal.Sweep
+	skip := make([]bool, len(jobs))
+	if opt.Journal != nil && opt.Journal.Log != nil {
+		var err error
+		sweep, err = opt.Journal.Log.BeginSweep(len(jobs), opt.Journal.Label)
+		if err != nil {
+			return nil, err
+		}
+		for i := range jobs {
+			payload, ok := sweep.Prior(i)
+			if !ok {
+				continue
+			}
+			v, err := opt.Journal.Decode(payload)
+			if err != nil {
+				return nil, fmt.Errorf("exp: replaying journaled result of job %q: %w", jobs[i].Name, err)
+			}
+			skip[i] = true
+			finish(i, Result{Name: jobs[i].Name, Index: i, Value: v, Replayed: true})
+		}
+	}
+
+	// runCtx additionally cancels the sweep when the journal itself fails:
+	// a campaign whose durability is gone must stop, not silently continue
+	// unjournaled.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var (
+		jerrOnce sync.Once
+		jerr     error
+	)
+	journalFail := func(err error) {
+		jerrOnce.Do(func() {
+			jerr = err
+			cancelRun()
+		})
+	}
+
+	// Feed indices; stop feeding the moment the run is done.
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range jobs {
+			if skip[i] {
+				continue
+			}
+			select {
+			case feed <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -130,18 +199,49 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				if err := ctx.Err(); err != nil {
+				if err := runCtx.Err(); err != nil {
 					// The sweep was cancelled while this index was already
 					// in the feed: record it without invoking the job.
 					finish(i, Result{Name: jobs[i].Name, Index: i, Err: diagerr.FromContext(err)})
 					continue
 				}
-				finish(i, runOne(ctx, jobs[i], i, opt.Timeout))
+				if sweep != nil {
+					if err := sweep.Started(i); err != nil {
+						journalFail(err)
+						finish(i, Result{Name: jobs[i].Name, Index: i, Err: context.Canceled})
+						continue
+					}
+				}
+				res := runJob(runCtx, jobs[i], i, opt)
+				// Record the outcome only while the sweep is still live: a
+				// job cut short by cancellation must stay unfinished in the
+				// journal so a resume re-runs it.
+				if sweep != nil && runCtx.Err() == nil {
+					if res.Err != nil {
+						if err := sweep.Failed(i, res.Err); err != nil {
+							journalFail(err)
+						}
+					} else if payload, err := opt.Journal.Encode(res.Value); err != nil {
+						journalFail(fmt.Errorf("exp: encoding result of job %q for journal: %w", jobs[i].Name, err))
+					} else if err := sweep.Done(i, payload); err != nil {
+						journalFail(err)
+					}
+				}
+				finish(i, res)
 			}
 		}()
 	}
 	wg.Wait()
+	cancelRun()
 
+	if jerr != nil && ctx.Err() == nil {
+		for i := range results {
+			if !ran[i] {
+				results[i] = Result{Name: jobs[i].Name, Index: i, Err: context.Canceled}
+			}
+		}
+		return results, jerr
+	}
 	if err := ctx.Err(); err != nil {
 		err = diagerr.FromContext(err)
 		for i := range results {
@@ -152,6 +252,25 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 		return results, err
 	}
 	return results, nil
+}
+
+// runJob is runOne plus the retry policy: transient failures (timeouts,
+// stalls, panics) are re-attempted with deterministic backoff, while
+// deterministic failures and cancellations return immediately.
+func runJob(ctx context.Context, j Job, idx int, opt Options) Result {
+	res := runOne(ctx, j, idx, opt.Timeout)
+	res.Attempts = 1
+	for n := 1; n <= opt.Retry.Max; n++ {
+		if res.Err == nil || ctx.Err() != nil || !journal.Classify(res.Err).Transient() {
+			break
+		}
+		if !sleepBackoff(ctx, opt.Retry, idx, n) {
+			break
+		}
+		res = runOne(ctx, j, idx, opt.Timeout)
+		res.Attempts = n + 1
+	}
+	return res
 }
 
 // runOne executes a single job with its own deadline and panic recovery.
@@ -168,7 +287,8 @@ func runOne(ctx context.Context, j Job, idx int, timeout time.Duration) (res Res
 		res.Elapsed = time.Since(start)
 		if p := recover(); p != nil {
 			res.Value = nil
-			res.Err = fmt.Errorf("exp: job %q panicked: %v\n%s", j.Name, p, debug.Stack())
+			res.Err = diagerr.Wrap(diagerr.ErrPanic,
+				"exp: job %q panicked: %v\n%s", j.Name, p, debug.Stack())
 		}
 		// If the job's own deadline (not the sweep's context) expired,
 		// surface it as a timeout even when the job returned a bare
@@ -194,4 +314,28 @@ func FirstErr(results []Result) error {
 		}
 	}
 	return nil
+}
+
+// Errors joins every distinct per-job error in submission order into one
+// error (errors.Join), so a campaign's exit path reports all failure
+// modes instead of just the first. Duplicate messages are folded — a
+// sweep where 200 trials hit the same timeout reports it once — and
+// plain cancellations are dropped (the caller already reports those from
+// its own context). Returns nil when no job failed.
+func Errors(results []Result) error {
+	var (
+		errs []error
+		seen = map[string]bool{}
+	)
+	for i := range results {
+		err := results[i].Err
+		if err == nil || errors.Is(err, context.Canceled) {
+			continue
+		}
+		if msg := err.Error(); !seen[msg] {
+			seen[msg] = true
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }

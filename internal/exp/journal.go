@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"diag/internal/journal"
+)
+
+// JournalBinding connects a sweep to an open run journal. The engine
+// records every job transition durably (started / done with the encoded
+// result / failed with a typed class), skips jobs the journal already
+// holds, and re-emits their results in submission order — so a resumed
+// sweep returns exactly what an uninterrupted one would have.
+//
+// One binding (one journal) serves a whole tool run; each Run call
+// opens the journal's next sweep, strictly sequentially.
+type JournalBinding struct {
+	// Log is the open journal. A nil Log disables journaling.
+	Log *journal.Journal
+	// Label names this sweep in the journal (a figure ID, "trials");
+	// purely informational, but it must match on resume.
+	Label string
+	// Encode serializes a job's result value for the journal.
+	Encode func(v any) ([]byte, error)
+	// Decode reverses Encode when a journaled result is replayed.
+	Decode func(b []byte) (any, error)
+}
+
+// Retry is the transient-failure retry policy: up to Max extra attempts
+// with exponential backoff. Only transient error classes — timeouts,
+// watchdog stalls, panic-recovered jobs (journal.Class.Transient) — are
+// retried; a deterministic failure (bad program, divergence, budget
+// expiry) is retried zero times, so enabling retries can never change
+// the output of a deterministic campaign.
+type Retry struct {
+	// Max is the number of extra attempts after the first (0 = off).
+	Max int
+	// BaseDelay is the attempt-1 backoff; attempt n waits about
+	// BaseDelay·2^(n-1). Zero retries immediately.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (0 = uncapped).
+	MaxDelay time.Duration
+	// Seed derives the jitter stream: delays are spread ±25% by a
+	// per-(job, attempt) RNG seeded from it, so two runs of the same
+	// campaign back off identically instead of thundering in lockstep.
+	Seed int64
+}
+
+// retrySeedStride separates per-job jitter streams (the 32-bit golden
+// ratio, the repo's stream-splitting convention).
+const retrySeedStride = 0x9E3779B9
+
+// backoffDelay returns the deterministic delay before retry attempt n
+// (1-based) of job idx.
+func backoffDelay(r Retry, idx, attempt int) time.Duration {
+	d := r.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if r.MaxDelay > 0 && d >= r.MaxDelay {
+			break
+		}
+	}
+	if r.MaxDelay > 0 && d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	// ±25% seed-derived jitter: [0.75·d, 1.25·d).
+	if half := int64(d / 2); half > 0 {
+		rng := rand.New(rand.NewSource(r.Seed + int64(idx)*retrySeedStride + int64(attempt)))
+		d = d - d/4 + time.Duration(rng.Int63n(half))
+	}
+	return d
+}
+
+// sleepBackoff waits out the attempt's backoff; false means ctx ended
+// first and the retry must be abandoned.
+func sleepBackoff(ctx context.Context, r Retry, idx, attempt int) bool {
+	d := backoffDelay(r, idx, attempt)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

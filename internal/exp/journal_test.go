@@ -1,0 +1,336 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diag/internal/diagerr"
+	"diag/internal/journal"
+)
+
+// jsonBinding is the codec every campaign uses in spirit: JSON for the
+// result value, here a plain int.
+func jsonBinding(log *journal.Journal, label string) *JournalBinding {
+	return &JournalBinding{
+		Log:    log,
+		Label:  label,
+		Encode: func(v any) ([]byte, error) { return json.Marshal(v) },
+		Decode: func(b []byte) (any, error) {
+			var v int
+			if err := json.Unmarshal(b, &v); err != nil {
+				return nil, err
+			}
+			return v, nil
+		},
+	}
+}
+
+func intJobs(n int, ran *[]int32) []Job {
+	jobs := make([]Job, n)
+	counts := make([]int32, n)
+	if ran != nil {
+		*ran = counts
+	}
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%d", i),
+			Run: func(context.Context) (any, error) {
+				atomic.AddInt32(&counts[i], 1)
+				return i * 10, nil
+			},
+		}
+	}
+	return jobs
+}
+
+// TestJournalResume is the engine-level resume contract: a sweep journaled
+// to completion, replayed through a fresh journal resume, yields the same
+// results in the same order without re-running a single completed job.
+func TestJournalResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	m := journal.Manifest{Tool: "exp-test", Seed: 1, Jobs: 6}
+
+	// First run: complete jobs 0..2, fail job 3 deterministically, then
+	// stop — jobs 4 and 5 never finish (4 fails with cancellation, which
+	// must NOT be journaled as a real failure).
+	log, err := journal.Create(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran []int32
+	jobs := intJobs(6, &ran)
+	ctx, cancel := context.WithCancel(context.Background())
+	bad := errors.New("deterministic divergence")
+	jobs[3].Run = func(context.Context) (any, error) { return nil, bad }
+	jobs[4].Run = func(ctx context.Context) (any, error) {
+		cancel()
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	jobs[5].Run = func(context.Context) (any, error) {
+		t.Error("job 5 must not start after cancellation")
+		return nil, nil
+	}
+	res, err := Run(ctx, jobs, Options{Workers: 1, Journal: jsonBinding(log, "trials")})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want canceled", err)
+	}
+	if res[3].Err == nil || journal.Classify(res[3].Err) != journal.ClassOther {
+		t.Fatalf("job 3: %v", res[3].Err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: jobs 0..2 replay from the journal, 3 (deterministic
+	// failure), 4 (cancelled mid-flight) and 5 (never started) run now.
+	log2, st, err := journal.Resume(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if done, _ := st.CountDone(); done != 3 {
+		t.Fatalf("journal holds %d done jobs, want 3", done)
+	}
+	jobs2 := intJobs(6, &ran)
+	var order []int
+	res2, err := Run(context.Background(), jobs2, Options{
+		Workers: 1,
+		Journal: jsonBinding(log2, "trials"),
+		OnProgress: func(p Progress) {
+			order = append(order, p.Index)
+			if p.Replayed != (p.Index <= 2) {
+				t.Errorf("job %d: Replayed = %v", p.Index, p.Replayed)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	for i, r := range res2 {
+		if r.Err != nil {
+			t.Fatalf("job %d failed on resume: %v", i, r.Err)
+		}
+		if r.Value != i*10 {
+			t.Fatalf("job %d value = %v, want %d", i, r.Value, i*10)
+		}
+		if r.Replayed != (i <= 2) {
+			t.Fatalf("job %d Replayed = %v", i, r.Replayed)
+		}
+		if want := int32(0); i <= 2 && ran[i] != want {
+			t.Fatalf("replayed job %d ran %d times", i, ran[i])
+		}
+	}
+	// Replays come first, in submission order, before any fresh job.
+	for i, idx := range order[:3] {
+		if idx != i {
+			t.Fatalf("replay order = %v", order)
+		}
+	}
+}
+
+// TestJournalRefusesMismatch: resuming under a different campaign
+// identity must fail before any job runs.
+func TestJournalRefusesMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	log, err := journal.Create(path, journal.Manifest{Tool: "exp-test", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), intJobs(2, nil), Options{Journal: jsonBinding(log, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	if _, _, err := journal.Resume(path, journal.Manifest{Tool: "exp-test", Seed: 2}); !errors.Is(err, journal.ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+	// Same manifest but a different sweep shape is refused by Run.
+	log2, _, err := journal.Resume(path, journal.Manifest{Tool: "exp-test", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if _, err := Run(context.Background(), intJobs(3, nil), Options{Journal: jsonBinding(log2, "a")}); !errors.Is(err, journal.ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+}
+
+// TestRetryTransient: a job that fails transiently (timeout class) is
+// retried up to Retry.Max times and its Attempts counted; a
+// deterministic failure is never retried.
+func TestRetryTransient(t *testing.T) {
+	var transientRuns, deterministicRuns int32
+	jobs := []Job{
+		{Name: "flaky", Run: func(context.Context) (any, error) {
+			if atomic.AddInt32(&transientRuns, 1) < 3 {
+				return nil, diagerr.Wrap(diagerr.ErrTimeout, "host was slow")
+			}
+			return "ok", nil
+		}},
+		{Name: "divergent", Run: func(context.Context) (any, error) {
+			atomic.AddInt32(&deterministicRuns, 1)
+			return nil, errors.New("mismatch: DiAG != ISS")
+		}},
+	}
+	res, err := Run(context.Background(), jobs, Options{
+		Workers: 2,
+		Retry:   Retry{Max: 3, BaseDelay: time.Microsecond, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[0].Attempts != 3 || transientRuns != 3 {
+		t.Fatalf("flaky: err=%v attempts=%d runs=%d", res[0].Err, res[0].Attempts, transientRuns)
+	}
+	if res[1].Err == nil || res[1].Attempts != 1 || deterministicRuns != 1 {
+		t.Fatalf("divergent: err=%v attempts=%d runs=%d", res[1].Err, res[1].Attempts, deterministicRuns)
+	}
+}
+
+// TestRetryPanicClass: panics are transient (a wedged model may be
+// host-state dependent) and retried.
+func TestRetryPanicClass(t *testing.T) {
+	var runs int32
+	jobs := []Job{{Name: "wedge", Run: func(context.Context) (any, error) {
+		if atomic.AddInt32(&runs, 1) == 1 {
+			panic("machine model wedged")
+		}
+		return 1, nil
+	}}}
+	res, err := Run(context.Background(), jobs, Options{Retry: Retry{Max: 1, Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[0].Attempts != 2 {
+		t.Fatalf("err=%v attempts=%d", res[0].Err, res[0].Attempts)
+	}
+}
+
+// TestBackoffDeterministic: the jitter stream is a pure function of
+// (seed, job, attempt), growing ~2x per attempt under the cap.
+func TestBackoffDeterministic(t *testing.T) {
+	r := Retry{Max: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Seed: 42}
+	for idx := 0; idx < 3; idx++ {
+		for n := 1; n <= 5; n++ {
+			a, b := backoffDelay(r, idx, n), backoffDelay(r, idx, n)
+			if a != b {
+				t.Fatalf("backoff(%d,%d) nondeterministic: %v vs %v", idx, n, a, b)
+			}
+			nominal := r.BaseDelay << (n - 1)
+			if nominal > r.MaxDelay {
+				nominal = r.MaxDelay
+			}
+			if a < nominal-nominal/4 || a >= nominal+nominal/4 {
+				t.Fatalf("backoff(%d,%d) = %v outside ±25%% of %v", idx, n, a, nominal)
+			}
+		}
+	}
+	if d := backoffDelay(Retry{Max: 1}, 0, 1); d != 0 {
+		t.Fatalf("zero BaseDelay should not wait, got %v", d)
+	}
+	// Distinct jobs draw from distinct jitter streams.
+	if backoffDelay(r, 0, 1) == backoffDelay(r, 1, 1) && backoffDelay(r, 0, 2) == backoffDelay(r, 1, 2) {
+		t.Fatal("jitter streams identical across jobs")
+	}
+}
+
+// TestNoGoroutineLeak is the regression test for worker cleanup: neither
+// a cancelled sweep nor a panicking job under retries may strand
+// goroutines (feeder, workers, or timers).
+func TestNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	for iter := 0; iter < 5; iter++ {
+		// Cancelled mid-campaign.
+		ctx, cancel := context.WithCancel(context.Background())
+		var fired int32
+		jobs := make([]Job, 64)
+		for i := range jobs {
+			jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Run: func(ctx context.Context) (any, error) {
+				if atomic.AddInt32(&fired, 1) == 4 {
+					cancel()
+				}
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(time.Millisecond):
+					return 1, nil
+				}
+			}}
+		}
+		if _, err := Run(ctx, jobs, Options{Workers: 8, Timeout: time.Second}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("want cancellation, got %v", err)
+		}
+		cancel()
+
+		// Panicking jobs with retries enabled.
+		jobs = make([]Job, 16)
+		for i := range jobs {
+			jobs[i] = Job{Name: fmt.Sprintf("p%d", i), Run: func(context.Context) (any, error) {
+				panic("wedged")
+			}}
+		}
+		res, err := Run(context.Background(), jobs, Options{
+			Workers: 4,
+			Retry:   Retry{Max: 2, BaseDelay: time.Microsecond, Seed: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if !errors.Is(r.Err, diagerr.ErrPanic) || r.Attempts != 3 {
+				t.Fatalf("panicking job: err=%v attempts=%d", r.Err, r.Attempts)
+			}
+		}
+	}
+
+	// Let finished goroutines unwind, then compare against the baseline
+	// with slack for runtime housekeeping.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d at start, %d after sweeps", baseline, runtime.NumGoroutine())
+}
+
+func TestErrors(t *testing.T) {
+	timeout := diagerr.Wrap(diagerr.ErrTimeout, "trial 7 timed out")
+	div := errors.New("mismatch: DiAG != ISS")
+	results := []Result{
+		{Index: 0},
+		{Index: 1, Err: timeout},
+		{Index: 2, Err: context.Canceled},
+		{Index: 3, Err: div},
+		{Index: 4, Err: errors.New("mismatch: DiAG != ISS")}, // duplicate message
+		{Index: 5, Err: fmt.Errorf("shutting down: %w", context.Canceled)},
+	}
+	err := Errors(results)
+	if err == nil {
+		t.Fatal("want joined error")
+	}
+	if !errors.Is(err, diagerr.ErrTimeout) {
+		t.Error("joined error lost the timeout sentinel")
+	}
+	msg := err.Error()
+	if strings.Count(msg, "mismatch: DiAG != ISS") != 1 {
+		t.Errorf("duplicate not folded:\n%s", msg)
+	}
+	if strings.Contains(msg, "canceled") || strings.Contains(msg, "shutting down") {
+		t.Errorf("cancellation leaked into Errors:\n%s", msg)
+	}
+	if Errors(nil) != nil || Errors([]Result{{Err: context.Canceled}}) != nil {
+		t.Error("cancellation-only results must yield nil")
+	}
+}

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"diag/internal/exp"
 	"diag/internal/isa"
 	"diag/internal/iss"
+	"diag/internal/journal"
 	"diag/internal/mem"
 	"diag/internal/obsv"
 	"diag/internal/ooo"
@@ -92,6 +94,20 @@ type Campaign struct {
 	// DataAddr/DataLen bound SiteMem faults; zero means derive from
 	// the image's data segments (falling back to a page past text).
 	DataAddr, DataLen uint32
+
+	// Journal, when non-nil, makes the campaign durable: every trial's
+	// classified outcome is recorded as it completes, and a campaign
+	// resumed on this journal replays recorded trials instead of
+	// re-simulating them. Determinism makes the resumed report
+	// byte-identical to an uninterrupted run. The deterministic preamble
+	// (golden run, unfaulted baseline, warmup checkpoint) always re-runs.
+	Journal *journal.Journal
+
+	// Retry re-attempts transient trial failures — host-induced
+	// wall-clock timeouts and panic-recovered simulator bugs — with
+	// deterministic backoff (Seed defaults to the campaign seed).
+	// Deterministic outcomes are never retried.
+	Retry exp.Retry
 }
 
 // DefaultSites returns the site classes that physically exist on the
@@ -139,6 +155,44 @@ type runResult struct {
 
 // seedStride separates per-trial RNG streams (32-bit golden ratio).
 const seedStride = 0x9E3779B9
+
+// TrialSeed returns trial i's RNG seed (base + i·seedStride) — the
+// handle for reproducing one trial in isolation, e.g. from a resume
+// banner's wedged-trial hint.
+func TrialSeed(base int64, i int) int64 { return base + int64(i)*seedStride }
+
+// Manifest is the campaign's identity for the run journal: everything
+// that determines the trial outcomes (machine configuration, fault
+// sites, budgets, image, seed). Resuming a journal recorded under a
+// different manifest is refused, so a resumed report can never silently
+// mix two experiments. Worker count is deliberately excluded — results
+// are byte-identical at any parallelism, so a resume may change it.
+func (c *Campaign) Manifest(tool string) journal.Manifest {
+	trials := c.Trials
+	if trials <= 0 {
+		trials = 100
+	}
+	sites := c.Sites
+	if len(sites) == 0 {
+		sites = DefaultSites(c.DiAG != nil)
+	}
+	cfg := struct {
+		DiAG              *diag.Config
+		OoO               *ooo.Config
+		Sites             []Class
+		Warmup            uint64
+		Timeout           time.Duration
+		DataAddr, DataLen uint32
+	}{c.DiAG, c.OoO, sites, c.Warmup, c.Timeout, c.DataAddr, c.DataLen}
+	return journal.Manifest{
+		Tool:          tool,
+		Seed:          c.Seed,
+		Jobs:          trials,
+		ConfigDigest:  journal.DigestJSON(cfg),
+		ProgramDigest: journal.DigestJSON(c.Image),
+		Note:          c.machineName(),
+	}
+}
 
 // Run executes the campaign. The error return covers campaign-level
 // failures only (bad configuration, a golden run that does not halt
@@ -197,7 +251,7 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 
 	faults := make([][]Fault, trials)
 	for i := range faults {
-		rng := rand.New(rand.NewSource(c.Seed + int64(i)*seedStride))
+		rng := rand.New(rand.NewSource(TrialSeed(c.Seed, i)))
 		faults[i] = []Fault{Random(rng, sites, baseRes.cycles)}
 	}
 
@@ -230,9 +284,31 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 			},
 		}
 	}
-	results, err := exp.Run(ctx, jobs, exp.Options{Workers: c.Workers, Timeout: c.Timeout})
+	retry := c.Retry
+	if retry.Seed == 0 {
+		retry.Seed = c.Seed
+	}
+	opt := exp.Options{Workers: c.Workers, Timeout: c.Timeout, Retry: retry}
+	if c.Journal != nil {
+		opt.Journal = &exp.JournalBinding{
+			Log:    c.Journal,
+			Label:  "trials",
+			Encode: func(v any) ([]byte, error) { return json.Marshal(v) },
+			Decode: func(b []byte) (any, error) {
+				var t Trial
+				if err := json.Unmarshal(b, &t); err != nil {
+					return nil, err
+				}
+				return t, nil
+			},
+		}
+	}
+	results, err := exp.Run(ctx, jobs, opt)
 	if err != nil {
-		return nil, err
+		// Surface every distinct trial failure alongside the run error;
+		// errors.Is(err, context.Canceled) still matches for the CLI's
+		// interruption banner.
+		return nil, errors.Join(err, exp.Errors(results))
 	}
 
 	rep := &Report{

@@ -1,0 +1,106 @@
+package journal
+
+import "fmt"
+
+// writer appends fixed-order little-endian fields to a byte slice (the
+// same convention as internal/snap's codec).
+type writer struct {
+	b []byte
+}
+
+func (w *writer) u8(v uint8) { w.b = append(w.b, v) }
+
+func (w *writer) u32(v uint32) {
+	w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func (w *writer) u64(v uint64) {
+	w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func (w *writer) i64(v int64) { w.u64(uint64(v)) }
+
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.b = append(w.b, b...)
+}
+
+// reader consumes fixed-order little-endian fields with a sticky error:
+// after the first failure every read returns zero values and the
+// decoder unwinds without touching out-of-bounds memory.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrFormat}, args...)...)
+	}
+}
+
+// take returns the next n bytes, or nil after setting the sticky error.
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.b)-r.off {
+		r.fail("field of %d bytes overruns record (offset %d of %d)", n, r.off, len(r.b))
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) str() string {
+	n := r.u32()
+	if uint64(n) > uint64(len(r.b)-r.off) {
+		r.fail("string of %d bytes overruns record", n)
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if uint64(n) > uint64(len(r.b)-r.off) {
+		r.fail("byte field of %d bytes overruns record", n)
+		return nil
+	}
+	return append([]byte(nil), r.take(int(n))...)
+}

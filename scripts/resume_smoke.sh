@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# resume_smoke.sh — crash-safety acceptance test for journaled campaigns.
+#
+# For each tool: run an uninterrupted reference campaign with -journal
+# (its journal size tells us where "about half way" lands on disk),
+# SIGKILL a second identical run once its journal passes that mark — no
+# drain, no atexit flush, exactly the crash the journal exists for —
+# then -resume at a different -parallel and require the final report to
+# be byte-identical to the reference.
+#
+# If the victim finishes before the kill lands (fast machine), that is
+# not a failure: resuming a complete journal is a pure replay and must
+# still reproduce the report byte for byte.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d /tmp/resume-smoke.XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+cd "$(dirname "$0")/.."
+$GO build -o "$WORK/diag-fault" ./cmd/diag-fault
+$GO build -o "$WORK/diag-difftest" ./cmd/diag-difftest
+
+# journal_size FILE — byte size, 0 while the victim has not created it yet.
+journal_size() {
+    { wc -c < "$1"; } 2>/dev/null || echo 0
+}
+
+# kill_at_half PID JOURNAL HALF — SIGKILL once the journal reaches HALF
+# bytes (or the process exits first).
+kill_at_half() {
+    local pid=$1 jour=$2 half=$3
+    while kill -0 "$pid" 2>/dev/null; do
+        if [ "$(journal_size "$jour")" -ge "$half" ]; then
+            kill -9 "$pid" 2>/dev/null || true
+            break
+        fi
+        sleep 0.05
+    done
+    wait "$pid" 2>/dev/null || true
+}
+
+echo "=== diag-fault: kill at ~50%, resume, compare ==="
+"$WORK/diag-fault" -workload hotspot -n 120 -seed 42 -parallel 4 \
+    -journal "$WORK/fault-ref.journal" > "$WORK/fault-ref.txt"
+HALF=$(( $(journal_size "$WORK/fault-ref.journal") / 2 ))
+
+"$WORK/diag-fault" -workload hotspot -n 120 -seed 42 -parallel 4 \
+    -journal "$WORK/fault.journal" > "$WORK/fault-victim.txt" 2> "$WORK/fault-victim.err" &
+kill_at_half $! "$WORK/fault.journal" "$HALF"
+echo "killed with $(journal_size "$WORK/fault.journal")/$(journal_size "$WORK/fault-ref.journal") journal bytes"
+
+"$WORK/diag-fault" -workload hotspot -n 120 -seed 42 -parallel 2 \
+    -journal "$WORK/fault.journal" -resume > "$WORK/fault-resumed.txt"
+cmp "$WORK/fault-ref.txt" "$WORK/fault-resumed.txt"
+echo "fault report byte-identical after resume"
+
+echo "=== diag-difftest: kill at ~50%, resume, compare ==="
+"$WORK/diag-difftest" -seed 1 -n 150 -parallel 4 \
+    -journal "$WORK/diff-ref.journal" > "$WORK/diff-ref.txt"
+HALF=$(( $(journal_size "$WORK/diff-ref.journal") / 2 ))
+
+"$WORK/diag-difftest" -seed 1 -n 150 -parallel 4 \
+    -journal "$WORK/diff.journal" > "$WORK/diff-victim.txt" 2> "$WORK/diff-victim.err" &
+kill_at_half $! "$WORK/diff.journal" "$HALF"
+echo "killed with $(journal_size "$WORK/diff.journal")/$(journal_size "$WORK/diff-ref.journal") journal bytes"
+
+"$WORK/diag-difftest" -seed 1 -n 150 -parallel 8 \
+    -journal "$WORK/diff.journal" -resume > "$WORK/diff-resumed.txt"
+cmp "$WORK/diff-ref.txt" "$WORK/diff-resumed.txt"
+echo "difftest report byte-identical after resume"
+
+echo "resume-smoke: OK"
