@@ -16,7 +16,9 @@ test:
 	$(GO) test ./...
 
 # Race-detector run: the parallel experiment engine fans simulations
-# across goroutines, so the full suite must be race-clean.
+# across goroutines and the sharded machine engines (internal/diag,
+# internal/ooo TestSharded*) fan rings/cores within one simulation, so
+# the full suite must be race-clean.
 race:
 	$(GO) test -race ./...
 
@@ -87,7 +89,7 @@ trace-smoke:
 # three machine models, the snapshot codec suite, and the diag-trace
 # -from-cycle path that exercises checkpointing end to end from a tool.
 snap-smoke:
-	$(GO) test -run 'TestTargetStability/(iss|F4C2|ooo)/(pathfinder|nw|hotspot)' -count=1 -v . | tail -25
+	$(GO) test -run 'TestTargetStability/(iss|iss-sb|F4C2|ooo)/(pathfinder|nw|hotspot)' -count=1 -v . | tail -35
 	$(GO) test -count=1 ./internal/snap/
 	$(GO) build -o /tmp/diag-trace ./cmd/diag-trace
 	/tmp/diag-trace -kernel pathfinder -from-cycle 30000 -o /tmp/tail.json

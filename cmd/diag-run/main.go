@@ -57,7 +57,7 @@ func main() {
 	}
 
 	if strings.EqualFold(*machine, "ooo") {
-		runBaseline(ctx, img, check, *cores, *maxCycles, *showEnergy)
+		runBaseline(ctx, img, check, *cores, *core.Shards, *maxCycles, *showEnergy)
 		return
 	}
 	cfg, err := diagConfig(*machine)
@@ -78,6 +78,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mach.SetShards(*core.Shards)
 	var rec *trace.Recorder
 	if *traceN > 0 {
 		rec = trace.NewRecorder(*traceN)
@@ -172,16 +173,21 @@ func printDiAG(cfg diag.Config, st diag.Stats, energy bool) {
 	}
 }
 
-func runBaseline(ctx context.Context, img *mem.Image, check func(*mem.Memory) error, cores int, maxCycles int64, energy bool) {
+func runBaseline(ctx context.Context, img *mem.Image, check func(*mem.Memory) error, cores, shards int, maxCycles int64, energy bool) {
 	cfg := ooo.Baseline()
 	if cores > 1 {
 		cfg = ooo.BaselineMulticore(cores)
 	}
 	cfg.MaxCycles = maxCycles
-	st, m, err := ooo.RunImageContext(ctx, cfg, img)
+	mach, err := ooo.NewMachine(cfg, img)
 	if err != nil {
 		fatal(err)
 	}
+	mach.SetShards(shards)
+	if err := mach.RunContext(ctx); err != nil {
+		fatal(err)
+	}
+	st, m := mach.Stats(), mach.Mem()
 	if check != nil {
 		if err := check(m); err != nil {
 			fatal(fmt.Errorf("result check failed: %w", err))

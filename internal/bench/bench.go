@@ -120,6 +120,11 @@ type Options struct {
 	// Retry re-attempts transient simulation failures (wall-clock
 	// timeouts, panics) with deterministic backoff.
 	Retry exp.Retry
+	// Shards spreads each multi-ring/multi-core simulation across up to
+	// N host goroutines (Machine.SetShards); 0 or 1 runs each
+	// simulation serially. Figures and tables are byte-identical at any
+	// value — sharding changes wall-clock time only.
+	Shards int
 }
 
 // statsPayload is the journal encoding of a simulation result: exactly
@@ -229,55 +234,65 @@ func (r *Runner) run(label string, jobs []exp.Job) ([]exp.Result, error) {
 }
 
 // diagJob builds one DiAG simulation job; its result value is diag.Stats.
-func diagJob(w workloads.Workload, p workloads.Params, cfg diag.Config) exp.Job {
+func diagJob(w workloads.Workload, p workloads.Params, cfg diag.Config, shards int) exp.Job {
 	return exp.Job{
 		Name: w.Name + "/" + cfg.Name,
 		Run: func(ctx context.Context) (any, error) {
-			return runDiAG(ctx, w, p, cfg)
+			return runDiAG(ctx, w, p, cfg, shards)
 		},
 	}
 }
 
 // oooJob builds one baseline simulation job; its result value is ooo.Stats.
-func oooJob(w workloads.Workload, p workloads.Params, cfg ooo.Config) exp.Job {
+func oooJob(w workloads.Workload, p workloads.Params, cfg ooo.Config, shards int) exp.Job {
 	return exp.Job{
 		Name: w.Name + "/" + cfg.Name,
 		Run: func(ctx context.Context) (any, error) {
-			return runOoO(ctx, w, p, cfg)
+			return runOoO(ctx, w, p, cfg, shards)
 		},
 	}
 }
 
-// runDiAG executes w on cfg and returns stats.
-func runDiAG(ctx context.Context, w workloads.Workload, p workloads.Params, cfg diag.Config) (diag.Stats, error) {
+// runDiAG executes w on cfg, sharded across up to shards goroutines,
+// and returns stats.
+func runDiAG(ctx context.Context, w workloads.Workload, p workloads.Params, cfg diag.Config, shards int) (diag.Stats, error) {
 	img, err := w.Build(p)
 	if err != nil {
 		return diag.Stats{}, err
 	}
-	st, m, err := diag.RunImageContext(ctx, cfg, img)
+	mach, err := diag.NewMachine(cfg, img)
 	if err != nil {
 		return diag.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
 	}
-	if err := w.Check(m, p); err != nil {
+	mach.SetShards(shards)
+	if err := mach.RunContext(ctx); err != nil {
 		return diag.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
 	}
-	return st, nil
+	if err := w.Check(mach.Mem(), p); err != nil {
+		return diag.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
+	}
+	return mach.Stats(), nil
 }
 
-// runOoO executes w on cfg and returns stats.
-func runOoO(ctx context.Context, w workloads.Workload, p workloads.Params, cfg ooo.Config) (ooo.Stats, error) {
+// runOoO executes w on cfg, sharded across up to shards goroutines,
+// and returns stats.
+func runOoO(ctx context.Context, w workloads.Workload, p workloads.Params, cfg ooo.Config, shards int) (ooo.Stats, error) {
 	img, err := w.Build(p)
 	if err != nil {
 		return ooo.Stats{}, err
 	}
-	st, m, err := ooo.RunImageContext(ctx, cfg, img)
+	mach, err := ooo.NewMachine(cfg, img)
 	if err != nil {
 		return ooo.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
 	}
-	if err := w.Check(m, p); err != nil {
+	mach.SetShards(shards)
+	if err := mach.RunContext(ctx); err != nil {
 		return ooo.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
 	}
-	return st, nil
+	if err := w.Check(mach.Mem(), p); err != nil {
+		return ooo.Stats{}, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
+	}
+	return mach.Stats(), nil
 }
 
 // ---- figure generators ----
@@ -293,9 +308,9 @@ func (r *Runner) singleThread(id, title string, suite workloads.Suite, scale int
 	var jobs []exp.Job
 	for _, w := range ws {
 		p := workloads.Params{Scale: scale, Threads: 1}
-		jobs = append(jobs, oooJob(w, p, ooo.Baseline()))
+		jobs = append(jobs, oooJob(w, p, ooo.Baseline(), r.opt.Shards))
 		for _, cfg := range configs {
-			jobs = append(jobs, diagJob(w, p, cfg))
+			jobs = append(jobs, diagJob(w, p, cfg, r.opt.Shards))
 		}
 	}
 	res, err := r.run(id, jobs)
@@ -333,12 +348,12 @@ func (r *Runner) multiThread(id, title string, suite workloads.Suite, scale int)
 	)
 	for _, w := range ws {
 		s := slot{base: len(jobs), simt: -1}
-		jobs = append(jobs, oooJob(w, workloads.Params{Scale: scale, Threads: MultiThreadCores}, baseCfg))
+		jobs = append(jobs, oooJob(w, workloads.Params{Scale: scale, Threads: MultiThreadCores}, baseCfg, r.opt.Shards))
 		s.plain = len(jobs)
-		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings}, diagCfg))
+		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings}, diagCfg, r.opt.Shards))
 		if w.SIMTCapable {
 			s.simt = len(jobs)
-			jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings, SIMT: true}, diagCfg))
+			jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings, SIMT: true}, diagCfg, r.opt.Shards))
 		}
 		slots = append(slots, s)
 	}
@@ -405,7 +420,7 @@ func (r *Runner) Fig11(scale int) (*Figure, error) {
 			return nil, fmt.Errorf("bench: unknown Fig 11 benchmark %q", name)
 		}
 		ws = append(ws, w)
-		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: 1}, cfg))
+		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: 1}, cfg, r.opt.Shards))
 	}
 	res, err := r.run("Fig 11", jobs)
 	if err != nil {
@@ -447,16 +462,16 @@ func (r *Runner) Fig12(scale int) (*Figure, error) {
 	for _, w := range ws {
 		s := slot{ds: -1}
 		s.b1 = len(jobs)
-		jobs = append(jobs, oooJob(w, workloads.Params{Scale: scale, Threads: 1}, base1))
+		jobs = append(jobs, oooJob(w, workloads.Params{Scale: scale, Threads: 1}, base1, r.opt.Shards))
 		s.d1 = len(jobs)
-		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: 1}, single))
+		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: 1}, single, r.opt.Shards))
 		s.bn = len(jobs)
-		jobs = append(jobs, oooJob(w, workloads.Params{Scale: scale, Threads: MultiThreadCores}, baseN))
+		jobs = append(jobs, oooJob(w, workloads.Params{Scale: scale, Threads: MultiThreadCores}, baseN, r.opt.Shards))
 		s.dm = len(jobs)
-		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings}, multi))
+		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings}, multi, r.opt.Shards))
 		if w.SIMTCapable {
 			s.ds = len(jobs)
-			jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings, SIMT: true}, multi))
+			jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: MultiThreadRings, SIMT: true}, multi, r.opt.Shards))
 		}
 		slots = append(slots, s)
 	}
@@ -496,7 +511,7 @@ func (r *Runner) StallBreakdown(scale int) (*Figure, error) {
 	ws := workloads.BySuite(workloads.Rodinia)
 	var jobs []exp.Job
 	for _, w := range ws {
-		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: 1}, cfg))
+		jobs = append(jobs, diagJob(w, workloads.Params{Scale: scale, Threads: 1}, cfg, r.opt.Shards))
 	}
 	res, err := r.run("§7.3.2", jobs)
 	if err != nil {
@@ -538,14 +553,14 @@ func (r *Runner) ScalingSweep(name string, clusterCounts []int, scale int) (*Fig
 		return nil, fmt.Errorf("bench: unknown workload %q", name)
 	}
 	p := workloads.Params{Scale: scale, Threads: 1}
-	jobs := []exp.Job{oooJob(w, p, ooo.Baseline())}
+	jobs := []exp.Job{oooJob(w, p, ooo.Baseline(), r.opt.Shards)}
 	var cfgs []diag.Config
 	for _, n := range clusterCounts {
 		cfg := diag.F4C32()
 		cfg.Clusters = n
 		cfg.Name = fmt.Sprintf("C%d", n)
 		cfgs = append(cfgs, cfg)
-		jobs = append(jobs, diagJob(w, p, cfg))
+		jobs = append(jobs, diagJob(w, p, cfg, r.opt.Shards))
 	}
 	res, err := r.run("sweep", jobs)
 	if err != nil {
@@ -659,7 +674,7 @@ func RunWorkloadOnce(name string, p workloads.Params, cfg diag.Config) (diag.Sta
 		return diag.Stats{}, ooo.Stats{}, fmt.Errorf("bench: unknown workload %q", name)
 	}
 	ctx := context.Background()
-	d, err := runDiAG(ctx, w, p, cfg)
+	d, err := runDiAG(ctx, w, p, cfg, 0)
 	if err != nil {
 		return diag.Stats{}, ooo.Stats{}, err
 	}
@@ -667,7 +682,7 @@ func RunWorkloadOnce(name string, p workloads.Params, cfg diag.Config) (diag.Sta
 	if p.Threads > 1 {
 		baseCfg = ooo.BaselineMulticore(p.Threads)
 	}
-	b, err := runOoO(ctx, w, p, baseCfg)
+	b, err := runOoO(ctx, w, p, baseCfg, 0)
 	if err != nil {
 		return diag.Stats{}, ooo.Stats{}, err
 	}

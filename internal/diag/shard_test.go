@@ -1,0 +1,197 @@
+package diag
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"diag/internal/mem"
+	"diag/internal/obsv"
+)
+
+// shardImage builds the data-parallel reduction kernel the multi-ring
+// tests use: each ring sums its chunk of a 256-word array and stores the
+// partial sum at 0x900+4*tid — disjoint write sets, the documented
+// contract of multi-ring execution.
+func shardImage(t testing.TB) *mem.Image {
+	t.Helper()
+	img := build(t, `
+	li   t0, 256
+	divu t1, t0, gp
+	mul  t2, t1, tp
+	add  t3, t2, t1
+	li   s0, 0x100000
+	li   s1, 0
+loop:
+	slli t4, t2, 2
+	add  t4, t4, s0
+	lw   t5, 0(t4)
+	add  s1, s1, t5
+	addi t2, t2, 1
+	blt  t2, t3, loop
+	slli t6, tp, 2
+	li   s2, 0x900
+	add  s2, s2, t6
+	sw   s1, 0(s2)
+	ebreak
+	`)
+	data := make([]byte, 1024)
+	for i := 0; i < 256; i++ {
+		putWord(data, i, uint32(i)*3+1)
+	}
+	img.Segments = append(img.Segments, mem.Segment{Addr: 0x100000, Data: data})
+	return img
+}
+
+// runShards executes img on a fresh rings-ring machine with the given
+// shard count, capturing the full observer event stream.
+func runShards(t testing.TB, img *mem.Image, rings, shards int) (Stats, uint64, []obsv.Event, error) {
+	t.Helper()
+	mach, err := NewMachine(MultiRing(F4C32(), rings, 2), img)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	buf := &obsv.Buffer{}
+	mach.SetObserver(buf)
+	mach.SetShards(shards)
+	runErr := mach.Run()
+	return mach.Stats(), mach.Mem().Digest(), buf.Events, runErr
+}
+
+// TestShardedRunMatchesSequential is the determinism gate of the
+// sharded engine: statistics, final-memory digest, and the complete
+// observer event stream must be identical at every shard count.
+func TestShardedRunMatchesSequential(t *testing.T) {
+	img := shardImage(t)
+	refStats, refDigest, refEvents, err := runShards(t, img, 4, 1)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	if refStats.Retired == 0 || len(refEvents) == 0 {
+		t.Fatal("sequential reference is empty")
+	}
+	for _, shards := range []int{2, 3, 4, 8} {
+		st, digest, events, err := runShards(t, img, 4, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(st, refStats) {
+			t.Errorf("shards=%d: stats diverge:\n got %+v\nwant %+v", shards, st, refStats)
+		}
+		if digest != refDigest {
+			t.Errorf("shards=%d: memory digest %#x, want %#x", shards, digest, refDigest)
+		}
+		if !reflect.DeepEqual(events, refEvents) {
+			t.Errorf("shards=%d: observer stream diverges (%d events, want %d)",
+				shards, len(events), len(refEvents))
+		}
+	}
+}
+
+// TestShardedRunMatchesGoldenISS ties the sharded engine back to the
+// functional model: the partitioned sums must be what the golden ISS
+// computes.
+func TestShardedRunMatchesGoldenISS(t *testing.T) {
+	img := shardImage(t)
+	_, _, _, _ = runShards(t, img, 4, 1) // warm the helper path
+	mach, err := NewMachine(MultiRing(F4C32(), 4, 2), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.SetShards(4)
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var total, want uint32
+	for tid := 0; tid < 4; tid++ {
+		total += mach.Mem().LoadWord(uint32(0x900 + 4*tid))
+	}
+	for i := 0; i < 256; i++ {
+		want += uint32(i)*3 + 1
+	}
+	if total != want {
+		t.Errorf("sharded partitioned sum = %d, want %d", total, want)
+	}
+}
+
+// TestShardedErrorAttribution pins the failure semantics: the lowest
+// failing ring wins, with the same wrapped error as the sequential
+// engine, and earlier rings' writes are still committed.
+func TestShardedErrorAttribution(t *testing.T) {
+	// Ring 2 executes an unsupported ecall; all others store a marker.
+	img := build(t, `
+	li   t1, 2
+	bne  tp, t1, ok
+	ecall
+ok:
+	slli t2, tp, 2
+	li   t3, 0x900
+	add  t3, t3, t2
+	li   t4, 7
+	sw   t4, 0(t3)
+	ebreak
+	`)
+	seqErr := func() error {
+		mach, err := NewMachine(MultiRing(F4C32(), 4, 2), img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mach.Run()
+	}()
+	mach, err := NewMachine(MultiRing(F4C32(), 4, 2), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.SetShards(4)
+	shErr := mach.Run()
+	if seqErr == nil || shErr == nil {
+		t.Fatalf("expected failures, got seq=%v sharded=%v", seqErr, shErr)
+	}
+	if seqErr.Error() != shErr.Error() {
+		t.Errorf("error mismatch:\n sequential: %v\n sharded:    %v", seqErr, shErr)
+	}
+	if !strings.HasPrefix(shErr.Error(), "ring 2:") {
+		t.Errorf("error not attributed to ring 2: %v", shErr)
+	}
+	// Rings 0 and 1 completed before the failing ring in sequential
+	// order, so their markers must be committed; ring 3's must not.
+	for tid, want := range map[int]uint32{0: 7, 1: 7, 3: 0} {
+		if got := mach.Mem().LoadWord(uint32(0x900 + 4*tid)); got != want {
+			t.Errorf("ring %d marker = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+// TestShardedPauseFallsBackSequential: an instruction-limit pause can
+// stop mid-ring, which the sharded path cannot honor — RunUntil must
+// take the sequential engine and still pause/resume exactly.
+func TestShardedPauseFallsBackSequential(t *testing.T) {
+	img := shardImage(t)
+	ref, refDigest, _, err := runShards(t, img, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := NewMachine(MultiRing(F4C32(), 4, 2), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.SetShards(4)
+	paused, err := mach.RunUntil(context.Background(), ref.Retired/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !paused {
+		t.Fatal("expected a pause at half the retired budget")
+	}
+	// The resumed half must also stay sequential (steps != 0 now).
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := mach.Stats(); !reflect.DeepEqual(st, ref) {
+		t.Errorf("paused+resumed stats diverge:\n got %+v\nwant %+v", st, ref)
+	}
+	if d := mach.Mem().Digest(); d != refDigest {
+		t.Errorf("paused+resumed digest %#x, want %#x", d, refDigest)
+	}
+}

@@ -220,8 +220,10 @@ func (m *Machine) State() *MachineState {
 		Mem:          m.mem.State(),
 		Rings:        make([]RingState, len(m.rings)),
 		L2s:          make([]cache.State, len(m.l2s)),
-		DRAMAccesses: m.dram.Accesses,
-		NextRing:     m.nextRing,
+		NextRing: m.nextRing,
+	}
+	for _, d := range m.drams {
+		st.DRAMAccesses += d.Accesses
 	}
 	for i, r := range m.rings {
 		st.Rings[i] = r.State()
@@ -262,7 +264,9 @@ func NewMachineFromState(st *MachineState) (*Machine, error) {
 			return nil, fmt.Errorf("diag: ring %d: %w", i, err)
 		}
 	}
-	mach.dram.Accesses = st.DRAMAccesses
+	// The per-ring DRAM split is a host-side concern (Stats sums the
+	// counters); the serialized total restores into the first one.
+	mach.drams[0].Accesses = st.DRAMAccesses
 	mach.nextRing = st.NextRing
 	return mach, nil
 }

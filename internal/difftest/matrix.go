@@ -65,8 +65,8 @@ func bootISS(m *mem.Memory, entry uint32) *iss.CPU {
 	return c
 }
 
-func issArch(name string, noPredecode bool) Arch {
-	return Arch{Name: name, Golden: !noPredecode,
+func issArch(name string, noPredecode, noSuperblock bool) Arch {
+	return Arch{Name: name, Golden: !noPredecode && !noSuperblock,
 		Run: func(_ context.Context, img *mem.Image, b Budget) ArchResult {
 			res := ArchResult{Arch: name}
 			m := mem.New()
@@ -77,6 +77,7 @@ func issArch(name string, noPredecode bool) Arch {
 			}
 			c := bootISS(m, entry)
 			c.NoPredecode = noPredecode
+			c.NoSuperblock = noSuperblock
 			budget := b.MaxInst
 			if budget == 0 {
 				budget = goldenCap
@@ -95,7 +96,7 @@ func issArch(name string, noPredecode bool) Arch {
 		}}
 }
 
-func diagArch(name string, cfg diag.Config, noPredecode bool) Arch {
+func diagArch(name string, cfg diag.Config, noPredecode, noSuperblock bool) Arch {
 	return Arch{Name: name,
 		Run: func(ctx context.Context, img *mem.Image, b Budget) ArchResult {
 			res := ArchResult{Arch: name}
@@ -115,6 +116,7 @@ func diagArch(name string, cfg diag.Config, noPredecode bool) Arch {
 			}
 			cpu := mach.Ring(0).CPU()
 			cpu.NoPredecode = noPredecode
+			cpu.NoSuperblock = noSuperblock
 			if err := mach.RunContext(ctx); err != nil {
 				res.Err = err.Error()
 			}
@@ -163,13 +165,15 @@ func archRegistry() []Arch {
 	degCfg.DisabledClusterMask = 0xAAAA // alternate clusters fused off: reuse remap path
 
 	return []Arch{
-		issArch("iss", false),    // golden: predecoded ISS
-		issArch("iss-raw", true), // fetch+decode every step
-		diagArch("ring", diag.F4C2(), false),
-		diagArch("ring-nopre", diag.F4C2(), true),
-		diagArch("ring-spec", specCfg, false),
-		diagArch("ring-c16", diag.F4C16(), false), // wide window: cluster-reuse heavy
-		diagArch("ring-degraded", degCfg, false),  // degraded-mode cluster remap
+		issArch("iss", false, false),      // golden: predecoded, superblock-dispatched ISS
+		issArch("iss-raw", true, false),   // fetch+decode every step (implies no superblocks)
+		issArch("iss-nosb", false, true),  // predecoded but stepped: isolates the block layer
+		diagArch("ring", diag.F4C2(), false, false),
+		diagArch("ring-nopre", diag.F4C2(), true, false),
+		diagArch("ring-nosb", diag.F4C2(), false, true), // knob parity; ring steps regardless
+		diagArch("ring-spec", specCfg, false, false),
+		diagArch("ring-c16", diag.F4C16(), false, false), // wide window: cluster-reuse heavy
+		diagArch("ring-degraded", degCfg, false, false),  // degraded-mode cluster remap
 		oooArch("ooo", ooo.Baseline()),
 	}
 }

@@ -24,8 +24,11 @@ import (
 	"testing"
 
 	"diag"
+	idiag "diag/internal/diag"
+	"diag/internal/isa"
 	"diag/internal/iss"
 	"diag/internal/mem"
+	"diag/internal/ooo"
 	"diag/internal/workloads"
 )
 
@@ -60,6 +63,16 @@ func Cases() []Case {
 			Case{Name: "ooo/" + k, Bench: func(b *testing.B) { benchE2E(b, "ooo", k) }},
 		)
 	}
+	// Sharded-simulation rows: the same 4-way-partitioned kernel on the
+	// 4-ring machine and 4-core baseline, serial vs sharded across 4
+	// host goroutines. Simulated results are byte-identical between the
+	// pair; the ns/op ratio is the host-parallel e2e speedup.
+	cs = append(cs,
+		Case{Name: "diag/mt4", Bench: func(b *testing.B) { benchE2EDiAGMulti(b, "hotspot", 4, 1) }},
+		Case{Name: "diag/mt4-shard4", Bench: func(b *testing.B) { benchE2EDiAGMulti(b, "hotspot", 4, 4) }},
+		Case{Name: "ooo/mc4", Bench: func(b *testing.B) { benchE2EOoOMulti(b, "hotspot", 4, 1) }},
+		Case{Name: "ooo/mc4-shard4", Bench: func(b *testing.B) { benchE2EOoOMulti(b, "hotspot", 4, 4) }},
+	)
 	return cs
 }
 
@@ -99,6 +112,19 @@ func reportMIPS(b *testing.B, inst uint64) {
 	}
 }
 
+// reportSuperblocks attaches the superblock engine's columns: the
+// fraction of block dispatches served from the block cache and the mean
+// number of instructions retired per cached-block dispatch.
+func reportSuperblocks(b *testing.B, hits, misses, insts uint64) {
+	if hits+misses == 0 {
+		return
+	}
+	b.ReportMetric(float64(hits)/float64(hits+misses), "sb-hit-rate")
+	if hits > 0 {
+		b.ReportMetric(float64(insts)/float64(hits), "sb-block-len")
+	}
+}
+
 // benchISSStep measures the golden ISS step loop: b.N simulated
 // instructions on a machine built outside the timer, so ns/op and
 // allocs/op are per simulated instruction.
@@ -123,6 +149,8 @@ func benchISSStep(b *testing.B) {
 		b.Fatalf("retired %d of %d budgeted instructions", retired, b.N)
 	}
 	reportMIPS(b, retired)
+	hits, misses, insts := cpu.SuperblockStats()
+	reportSuperblocks(b, hits, misses, insts)
 }
 
 // benchDiAGStep measures the DiAG ring timing model under an
@@ -158,45 +186,164 @@ func benchOoOStep(b *testing.B) {
 	reportMIPS(b, uint64(b.N))
 }
 
-// benchE2E measures one model running one internal/workloads kernel to
-// completion per iteration.
-func benchE2E(b *testing.B, model, kernel string) {
+// buildKernel builds the named workload's threads-way partitioned
+// image, failing the benchmark on error.
+func buildKernel(b *testing.B, kernel string, threads int) *mem.Image {
+	b.Helper()
 	w, ok := workloads.ByName(kernel)
 	if !ok {
 		b.Fatalf("unknown workload %q", kernel)
 	}
-	img, err := w.Build(workloads.Params{})
+	img, err := w.Build(workloads.Params{Threads: threads})
 	if err != nil {
 		b.Fatal(err)
 	}
+	return img
+}
+
+// benchE2E measures one model running one internal/workloads kernel to
+// completion per iteration. Each iteration needs a fresh machine (the
+// run mutates memory), so construction and image loading happen with
+// the timer stopped — ns/op and allocs/op measure simulation, not setup.
+func benchE2E(b *testing.B, model, kernel string) {
+	img := buildKernel(b, kernel, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	var total uint64
+	var sbHits, sbMisses, sbInsts uint64
 	for i := 0; i < b.N; i++ {
 		switch model {
 		case "iss":
-			cpu, err := diag.Interpret(img, 1<<40)
+			b.StopTimer()
+			m := mem.New()
+			entry, err := img.Load(m)
 			if err != nil {
 				b.Fatal(err)
+			}
+			cpu := iss.New(m, entry)
+			// Single-hart boot convention (tp = hart id, gp = hart
+			// count), matching diag.ISS(): without it the partitioned
+			// kernels divide by a zero thread count and exit after a
+			// handful of instructions, so the row measures nothing.
+			cpu.X[isa.TP] = 0
+			cpu.X[isa.GP] = 1
+			cpu.Run(1) // fault in the lazy predecode/superblock caches
+			b.StartTimer()
+			cpu.Run(1 << 40)
+			if cpu.Err != nil {
+				b.Fatal(cpu.Err)
+			}
+			if !cpu.Halted {
+				b.Fatal("instruction budget exhausted")
 			}
 			total += cpu.Instret
+			h, miss, n := cpu.SuperblockStats()
+			sbHits, sbMisses, sbInsts = sbHits+h, sbMisses+miss, sbInsts+n
 		case "diag":
-			st, _, err := diag.Run(diag.F4C16(), img)
-			if err != nil {
+			mach := newDiAGMachine(b, idiag.F4C16(), img, 1)
+			if err := mach.Run(); err != nil {
 				b.Fatal(err)
 			}
-			total += st.Retired
+			total += mach.Stats().Retired
 		case "ooo":
-			res, err := diag.OoO(diag.Baseline()).Run(img)
-			if err != nil {
+			mach := newOoOMachine(b, ooo.Baseline(), img, 1)
+			if err := mach.Run(); err != nil {
 				b.Fatal(err)
 			}
-			total += res.Retired
+			total += mach.Stats().Retired
 		default:
 			b.Fatalf("unknown model %q", model)
 		}
 	}
 	reportMIPS(b, total)
+	reportSuperblocks(b, sbHits, sbMisses, sbInsts)
+}
+
+// newDiAGMachine builds a DiAG machine with the benchmark timer
+// stopped, so e2e rows measure simulation rather than setup.
+func newDiAGMachine(b *testing.B, cfg idiag.Config, img *mem.Image, shards int) *idiag.Machine {
+	b.StopTimer()
+	mach, err := idiag.NewMachine(cfg, img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach.SetShards(shards)
+	b.StartTimer()
+	return mach
+}
+
+// newOoOMachine is newDiAGMachine for the out-of-order baseline.
+func newOoOMachine(b *testing.B, cfg ooo.Config, img *mem.Image, shards int) *ooo.Machine {
+	b.StopTimer()
+	mach, err := ooo.NewMachine(cfg, img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach.SetShards(shards)
+	b.StartTimer()
+	return mach
+}
+
+// benchE2EDiAGMulti measures the rings-ring DiAG machine running the
+// partitioned form of a kernel, spread across the given shard count.
+// The shard-util metric is the retired-instruction balance across
+// rings (1.0 = perfectly even partitions), the ceiling on the
+// host-parallel speedup sharding can reach.
+func benchE2EDiAGMulti(b *testing.B, kernel string, rings, shards int) {
+	img := buildKernel(b, kernel, rings)
+	cfg := idiag.MultiRing(idiag.F4C16(), rings, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total uint64
+	var util float64
+	for i := 0; i < b.N; i++ {
+		mach := newDiAGMachine(b, cfg, img, shards)
+		if err := mach.Run(); err != nil {
+			b.Fatal(err)
+		}
+		st := mach.Stats()
+		total += st.Retired
+		var max uint64
+		for r := 0; r < rings; r++ {
+			if n := mach.Ring(r).Stats().Retired; n > max {
+				max = n
+			}
+		}
+		if max > 0 {
+			util = float64(st.Retired) / (float64(rings) * float64(max))
+		}
+	}
+	reportMIPS(b, total)
+	b.ReportMetric(util, "shard-util")
+}
+
+// benchE2EOoOMulti is benchE2EDiAGMulti for the multicore baseline.
+func benchE2EOoOMulti(b *testing.B, kernel string, cores, shards int) {
+	img := buildKernel(b, kernel, cores)
+	cfg := ooo.BaselineMulticore(cores)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total uint64
+	var util float64
+	for i := 0; i < b.N; i++ {
+		mach := newOoOMachine(b, cfg, img, shards)
+		if err := mach.Run(); err != nil {
+			b.Fatal(err)
+		}
+		st := mach.Stats()
+		total += st.Retired
+		var max uint64
+		for c := 0; c < cores; c++ {
+			if n := mach.Core(c).Stats().Retired; n > max {
+				max = n
+			}
+		}
+		if max > 0 {
+			util = float64(st.Retired) / (float64(cores) * float64(max))
+		}
+	}
+	reportMIPS(b, total)
+	b.ReportMetric(util, "shard-util")
 }
 
 // Result is one case's measurement.
@@ -207,6 +354,15 @@ type Result struct {
 	SimMIPS     float64 `json:"sim_mips"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+
+	// Superblock columns (iss rows): the fraction of block dispatches
+	// served from the block cache and the mean instructions retired per
+	// cached-block dispatch.
+	SBHitRate  float64 `json:"sb_hit_rate,omitempty"`
+	SBBlockLen float64 `json:"sb_block_len,omitempty"`
+	// ShardUtil (multi-ring/multi-core rows): retired-instruction
+	// balance across rings/cores, the ceiling on sharded speedup.
+	ShardUtil float64 `json:"shard_util,omitempty"`
 }
 
 // Report is the BENCH_host.json artifact.
@@ -254,6 +410,9 @@ func Measure(names []string) (*Report, error) {
 			SimMIPS:     r.Extra["sim-MIPS"],
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			SBHitRate:   r.Extra["sb-hit-rate"],
+			SBBlockLen:  r.Extra["sb-block-len"],
+			ShardUtil:   r.Extra["shard-util"],
 		})
 	}
 	return rep, nil

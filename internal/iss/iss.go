@@ -55,6 +55,34 @@ type predecoded struct {
 	inst isa.Inst
 }
 
+// Superblock-cache geometry: a direct-mapped cache of traced
+// straight-line decoded runs, indexed by the word address of the run's
+// first instruction. 1024 entries of up to 32 instructions each cover
+// every kernel in internal/workloads; conflicts only cost a re-trace,
+// never correctness.
+const (
+	sbBits   = 10
+	sbSize   = 1 << sbBits
+	sbMask   = sbSize - 1
+	sbMaxLen = 32
+)
+
+// superblock is one block-cache entry: a decoded straight-line run
+// starting at the tagged PC and ending at the first control-flow or
+// system instruction (which is included, so every block exit is either
+// the terminator's redirect or a fall-through past sbMaxLen). The tag
+// and gen fields invalidate exactly like predecoded entries; stores is
+// a bitmask of which instructions in the run are stores, so block
+// execution re-checks the code generation only after instructions that
+// can actually modify text (self-modifying code).
+type superblock struct {
+	tag    uint32
+	gen    uint64
+	n      int32
+	stores uint64
+	insts  [sbMaxLen]isa.Inst
+}
+
 // CPU is the architectural state of one RV32IMF hart.
 type CPU struct {
 	Mem *mem.Memory
@@ -69,11 +97,28 @@ type CPU struct {
 	// NoPredecode disables the predecode cache, forcing a full fetch +
 	// decode on every step. It exists for differential testing (the
 	// cached and uncached machines must agree on everything) and must
-	// be set before the first Step.
+	// be set before the first Step. It implies NoSuperblock: the raw
+	// differential column stays fully raw.
 	NoPredecode bool
+
+	// NoSuperblock disables superblock execution in Run, forcing the
+	// per-instruction step loop. Like NoPredecode it exists for
+	// differential testing and must be set before the first Run.
+	NoSuperblock bool
 
 	pred    []predecoded // direct-mapped predecode cache
 	rawInst isa.Inst     // scratch decode slot for the NoPredecode path
+
+	// blocks is the direct-mapped superblock cache. It is allocated
+	// lazily on the first block dispatch: only Run uses it, so the
+	// timing simulators (which drive the CPU through StepInto) never
+	// pay its footprint.
+	blocks []superblock
+
+	// Superblock effectiveness counters (host-side observability, not
+	// architectural state): block dispatches that hit/missed the cache
+	// and instructions retired through block execution.
+	sbHits, sbMisses, sbInsts uint64
 
 	// Hook, when non-nil, observes every retired instruction. Timing
 	// simulators embed a CPU, so setting Hook traces machine runs too.
@@ -199,6 +244,7 @@ func (c *CPU) step(ex *Exec) {
 		c.failInto(ex, "iss: at PC 0x%x: %v", c.PC, err)
 		return
 	}
+	*ex = Exec{PC: c.PC, Inst: *in, NextPC: c.PC + 4}
 	c.exec(in, ex)
 	c.X[0] = 0
 	if !c.Halted {
@@ -215,14 +261,20 @@ func (c *CPU) step(ex *Exec) {
 //
 // The interrupt guard is hoisted out of the common path: once no
 // interrupt can fire any more (none configured, or the one-shot trap
-// already delivered), the loop steps without consulting the interrupt
-// state at all.
+// already delivered), the loop runs without consulting the interrupt
+// state at all — through whole superblocks when possible, otherwise
+// one step at a time.
 func (c *CPU) Run(maxInst uint64) uint64 {
 	start := c.Instret
+	useBlocks := !c.NoSuperblock && !c.NoPredecode && c.Hook == nil
 	var ex Exec
 	for !c.Halted && c.Instret-start < maxInst {
 		if c.InterruptAt != 0 && !c.Trapped {
 			c.StepInto(&ex)
+			continue
+		}
+		if useBlocks {
+			c.runBlocks(start, maxInst)
 			continue
 		}
 		for !c.Halted && c.Instret-start < maxInst {
@@ -232,8 +284,117 @@ func (c *CPU) Run(maxInst uint64) uint64 {
 	return c.Instret - start
 }
 
+// SuperblockStats reports block-cache effectiveness since construction:
+// hits and misses count block dispatches against the cache, insts
+// counts instructions retired through block execution. The counters are
+// host-side observability, not architectural state — they are neither
+// snapshotted nor compared by differential tests.
+func (c *CPU) SuperblockStats() (hits, misses, insts uint64) {
+	return c.sbHits, c.sbMisses, c.sbInsts
+}
+
+// runBlocks is the superblock fast path of Run: it dispatches whole
+// decoded blocks — one cache probe, one budget check per block — until
+// the CPU halts or the budget expires. Callers guarantee no pending
+// interrupt, no Hook, and that the predecode/superblock knobs are on.
+//
+// Per-instruction semantics inside a block are exactly step's: exec,
+// X[0] pin, halt check before retirement, Instret++, PC = NextPC. A
+// block never contains interior control flow (only its final
+// instruction can redirect), so straight-line PC advancement inside the
+// block matches the stepped machine instruction for instruction.
+func (c *CPU) runBlocks(start, maxInst uint64) {
+	if c.blocks == nil {
+		c.blocks = make([]superblock, sbSize)
+	}
+	var ex Exec
+	for !c.Halted && c.Instret-start < maxInst {
+		if c.PC&3 != 0 {
+			c.step(&ex) // reproduce the exact misaligned-PC failure
+			continue
+		}
+		e := &c.blocks[(c.PC>>2)&sbMask]
+		gen := c.Mem.CodeGen()
+		if e.tag != c.PC|1 || e.gen != gen {
+			c.sbMisses++
+			if !c.buildBlock(e, gen) {
+				c.step(&ex) // reproduce the exact decode failure
+				continue
+			}
+		} else {
+			c.sbHits++
+		}
+		if uint64(e.n) > maxInst-(c.Instret-start) {
+			// The budget would expire mid-block: retire the remainder
+			// one instruction at a time so the pause point is exact.
+			c.step(&ex)
+			continue
+		}
+		for i := int32(0); i < e.n; i++ {
+			ex.NextPC = c.PC + 4
+			c.exec(&e.insts[i], &ex)
+			c.X[0] = 0
+			if c.Halted {
+				return
+			}
+			c.Instret++
+			c.PC = ex.NextPC
+			c.sbInsts++
+			if e.stores&(1<<uint(i)) != 0 && c.Mem.CodeGen() != gen {
+				// The store modified (or may have modified) text: the
+				// rest of this block is stale. Resume at the updated PC;
+				// the next probe re-traces against the new generation.
+				break
+			}
+		}
+	}
+}
+
+// buildBlock traces and decodes a superblock starting at the current PC
+// into e. The trace ends at the first control-flow or system
+// instruction (included in the block: branches/jumps redirect, ecall/
+// ebreak halt, simt.e loops back — none may have instructions executed
+// after them from the same straight-line trace) or at sbMaxLen.
+// simt.s does not terminate a block: it never redirects. A leading
+// undecodable word invalidates the entry and returns false so the
+// caller can reproduce the exact per-step decode failure; a later
+// undecodable word just ends the block early (it may be data that is
+// never reached, e.g. right after an unconditional jump).
+func (c *CPU) buildBlock(e *superblock, gen uint64) bool {
+	e.tag = c.PC | 1
+	e.gen = gen
+	e.stores = 0
+	n := int32(0)
+	for pc := c.PC; n < sbMaxLen; pc += 4 {
+		in, err := isa.Decode(c.Mem.LoadWord(pc))
+		if err != nil {
+			break
+		}
+		e.insts[n] = in
+		if in.Op.IsStore() {
+			e.stores |= 1 << uint(n)
+		}
+		n++
+		if in.Op.IsControl() || in.Op == isa.OpECALL || in.Op == isa.OpEBREAK || in.Op == isa.OpSIMTE {
+			break
+		}
+	}
+	e.n = n
+	if n == 0 {
+		e.tag = 0
+		return false
+	}
+	return true
+}
+
+// exec executes in against a primed record: callers must have set
+// ex.NextPC to PC+4 (the fall-through) before the call. step primes the
+// whole record (PC, Inst, cleared Taken/MemAddr) because StepInto
+// callers and Hook consume every field; runBlocks primes only NextPC —
+// the record there is private scratch whose other fields are never
+// read, and skipping the ~30-byte struct write per instruction is most
+// of the superblock speedup.
 func (c *CPU) exec(in *isa.Inst, ex *Exec) {
-	*ex = Exec{PC: c.PC, Inst: *in, NextPC: c.PC + 4}
 	rs1 := c.X[in.Rs1]
 	rs2 := c.X[in.Rs2]
 

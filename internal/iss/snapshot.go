@@ -9,12 +9,14 @@ import (
 
 // CPUState is a serializable copy of a hart's architectural state.
 //
-// Two pieces of CPU state are deliberately excluded because they are
+// Three pieces of CPU state are deliberately excluded because they are
 // pure host-side accelerations a restored CPU rebuilds on demand with
-// no architectural or timing effect: the predecode cache (entries are
-// generation-tagged against Memory.CodeGen, so a cold cache re-decodes
-// to identical results) and the simt.s step-register memo (relearned
-// from the text on first touch). The abnormal-halt error is carried as
+// no architectural or timing effect: the predecode cache and the
+// superblock cache (entries of both are generation-tagged against
+// Memory.CodeGen, so a cold cache re-decodes/re-traces to identical
+// results — NoSuperblock is likewise a host knob, not machine state)
+// and the simt.s step-register memo (relearned from the text on first
+// touch). The abnormal-halt error is carried as
 // its message: every abnormal halt is an ErrBadProgram, so the error
 // chain is reconstructed exactly.
 type CPUState struct {

@@ -1,0 +1,226 @@
+package iss
+
+import (
+	"testing"
+
+	"diag/internal/isa"
+	"diag/internal/mem"
+)
+
+// Superblock coverage: the block-dispatched Run must be observationally
+// identical to the per-instruction step loop — across self-modifying
+// code (including a store that patches an instruction later in the
+// *currently executing* block), CPU reuse via Reset, snapshot/restore
+// at a pause that lands mid-block, and interrupt delivery.
+
+// runSB executes img to completion with the given superblock setting
+// (predecode stays on in both runs, isolating the block layer).
+func runSB(t *testing.T, img *mem.Image, noSuperblock bool) *CPU {
+	t.Helper()
+	m := mem.New()
+	entry, err := img.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, entry)
+	c.NoSuperblock = noSuperblock
+	if n := c.Run(100000); n == 100000 {
+		t.Fatal("program did not halt")
+	}
+	if c.Err != nil {
+		t.Fatalf("abnormal halt: %v", c.Err)
+	}
+	return c
+}
+
+// TestSuperblockSMCWithinBlock is the sharpest invalidation case: a
+// store patches an instruction a few words ahead *inside the block
+// currently executing*. The trace was built before the store ran, so
+// block execution must notice the code-generation bump right after the
+// store and re-trace before reaching the patched slot.
+func TestSuperblockSMCWithinBlock(t *testing.T) {
+	prog := []isa.Inst{
+		{Op: isa.OpLUI, Rd: 6, Imm: smcText},
+		{Op: isa.OpLUI, Rd: 9, Imm: smcData},
+		{Op: isa.OpLW, Rd: 5, Rs1: 9, Imm: 0},
+		{Op: isa.OpSW, Rs1: 6, Rs2: 5, Imm: 20}, // patch text word 5, two ahead
+		{Op: isa.OpADDI, Rd: 0, Rs1: 0, Imm: 0},
+		{Op: isa.OpADDI, Rd: 10, Rs1: 0, Imm: 1}, // patched to li x10, 77
+		{Op: isa.OpEBREAK},
+	}
+	patch := isa.Inst{Op: isa.OpADDI, Rd: 10, Rs1: 0, Imm: 77}
+
+	with := runSB(t, smcImage(t, prog, patch), false)
+	without := runSB(t, smcImage(t, prog, patch), true)
+	assertSameState(t, with, without)
+	if got := with.X[10]; got != 77 {
+		t.Errorf("x10 = %d, want 77 (stale superblock executed the unpatched slot?)", got)
+	}
+	if hits, misses, insts := with.SuperblockStats(); misses == 0 || insts == 0 {
+		t.Errorf("superblock counters empty (hits=%d misses=%d insts=%d): fast path not exercised", hits, misses, insts)
+	}
+}
+
+// TestSuperblockSMCPatchInLoop replays the predecode loop-patch program
+// through the block layer: iteration 1 runs the original instruction,
+// later iterations the patched one.
+func TestSuperblockSMCPatchInLoop(t *testing.T) {
+	prog := []isa.Inst{
+		{Op: isa.OpLUI, Rd: 6, Imm: smcText},
+		{Op: isa.OpLUI, Rd: 9, Imm: smcData},
+		{Op: isa.OpLW, Rd: 5, Rs1: 9, Imm: 0},
+		{Op: isa.OpADDI, Rd: 8, Rs1: 0, Imm: 3},
+		{Op: isa.OpADDI, Rd: 10, Rs1: 10, Imm: 1}, // loop: patch target
+		{Op: isa.OpADDI, Rd: 7, Rs1: 7, Imm: 1},
+		{Op: isa.OpSW, Rs1: 6, Rs2: 5, Imm: 16},
+		{Op: isa.OpBLT, Rs1: 7, Rs2: 8, Imm: -12},
+		{Op: isa.OpEBREAK},
+	}
+	patch := isa.Inst{Op: isa.OpADDI, Rd: 10, Rs1: 10, Imm: 100}
+
+	with := runSB(t, smcImage(t, prog, patch), false)
+	without := runSB(t, smcImage(t, prog, patch), true)
+	assertSameState(t, with, without)
+	if got := with.X[10]; got != 201 {
+		t.Errorf("x10 = %d, want 201 (1 original + 2 patched iterations)", got)
+	}
+}
+
+// TestSuperblockReusedCPUAfterReset: a CPU reused via Reset over a
+// rewritten memory must never replay a stale block (the Run-loop analog
+// of the predecode reuse test).
+func TestSuperblockReusedCPUAfterReset(t *testing.T) {
+	m := mem.New() // no MarkCode: every store conservatively invalidates
+	c := New(m, 0)
+	ebreak, err := isa.Encode(isa.Inst{Op: isa.OpEBREAK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range []isa.Inst{
+		{Op: isa.OpADDI, Rd: 10, Rs1: 0, Imm: 7},
+		{Op: isa.OpADDI, Rd: 10, Rs1: 0, Imm: 31},
+	} {
+		w, err := isa.Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.StoreWord(0, w)
+		m.StoreWord(4, ebreak)
+		c.Reset(0)
+		c.Run(10)
+		if c.Err != nil {
+			t.Fatalf("run %d: %v", i, c.Err)
+		}
+		if got, want := c.X[10], uint32(in.Imm); got != want {
+			t.Fatalf("run %d: x10 = %d, want %d (stale superblock?)", i, got, want)
+		}
+	}
+}
+
+// TestSuperblockSnapshotMidBlock pauses a Run at an instruction budget
+// that lands in the middle of a straight-line block, snapshots, restores
+// into a fresh CPU (whose block cache is cold), and finishes — the
+// result must equal an unpaused run at every pause point.
+func TestSuperblockSnapshotMidBlock(t *testing.T) {
+	prog := []isa.Inst{
+		{Op: isa.OpADDI, Rd: 10, Rs1: 10, Imm: 1},
+		{Op: isa.OpADDI, Rd: 11, Rs1: 11, Imm: 2},
+		{Op: isa.OpADDI, Rd: 12, Rs1: 12, Imm: 3},
+		{Op: isa.OpADDI, Rd: 13, Rs1: 13, Imm: 4},
+		{Op: isa.OpADDI, Rd: 14, Rs1: 10, Imm: 0},
+		{Op: isa.OpADDI, Rd: 15, Rs1: 11, Imm: 0},
+		{Op: isa.OpADDI, Rd: 7, Rs1: 7, Imm: 1},
+		{Op: isa.OpBLT, Rs1: 7, Rs2: 8, Imm: -28},
+		{Op: isa.OpEBREAK},
+	}
+	build := func() *CPU {
+		img := &mem.Image{Entry: smcText, TextAddr: smcText}
+		for _, in := range prog {
+			w, err := isa.Encode(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img.Text = append(img.Text, w)
+		}
+		m := mem.New()
+		entry, err := img.Load(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(m, entry)
+		c.X[8] = 5 // loop bound
+		return c
+	}
+
+	straight := build()
+	straight.Run(100000)
+	if straight.Err != nil {
+		t.Fatal(straight.Err)
+	}
+
+	// Pause at every point of the first two loop iterations: several of
+	// these land mid-block (the 8-instruction body is one block).
+	for pause := uint64(1); pause < 16; pause++ {
+		c := build()
+		c.Run(pause)
+		if c.Halted {
+			t.Fatalf("pause=%d: halted early", pause)
+		}
+		if c.Instret != pause {
+			t.Fatalf("pause=%d: paused at Instret=%d", pause, c.Instret)
+		}
+		st := c.State()
+		resumed := New(c.Mem, 0) // fresh CPU: cold block cache, same memory
+		resumed.SetState(&st)
+		resumed.Run(100000)
+		if resumed.Err != nil {
+			t.Fatalf("pause=%d: %v", pause, resumed.Err)
+		}
+		if resumed.X != straight.X || resumed.PC != straight.PC || resumed.Instret != straight.Instret {
+			t.Errorf("pause=%d: resumed run diverges from straight run", pause)
+		}
+	}
+}
+
+// TestSuperblockInterruptDelivery: the one-shot precise interrupt must
+// fire at the same boundary with blocks on and off.
+func TestSuperblockInterruptDelivery(t *testing.T) {
+	prog := []isa.Inst{
+		{Op: isa.OpADDI, Rd: 10, Rs1: 10, Imm: 1},
+		{Op: isa.OpADDI, Rd: 7, Rs1: 7, Imm: 1},
+		{Op: isa.OpBLT, Rs1: 7, Rs2: 8, Imm: -8},
+		{Op: isa.OpEBREAK},
+		{Op: isa.OpADDI, Rd: 20, Rs1: 20, Imm: 9}, // handler: x20 += 9
+		{Op: isa.OpEBREAK},
+	}
+	run := func(noSB bool) *CPU {
+		img := &mem.Image{Entry: smcText, TextAddr: smcText}
+		for _, in := range prog {
+			w, err := isa.Encode(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img.Text = append(img.Text, w)
+		}
+		m := mem.New()
+		entry, err := img.Load(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(m, entry)
+		c.NoSuperblock = noSB
+		c.X[8] = 100
+		c.InterruptAt = 17
+		c.InterruptVector = smcText + 16
+		c.Run(100000)
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+		return c
+	}
+	with, without := run(false), run(true)
+	assertSameState(t, with, without)
+	if with.EPC != without.EPC || with.X[20] != 9 {
+		t.Errorf("interrupt divergence: EPC %#x vs %#x, x20=%d", with.EPC, without.EPC, with.X[20])
+	}
+}

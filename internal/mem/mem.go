@@ -240,6 +240,52 @@ func (m *Memory) Digest() uint64 {
 	return h
 }
 
+// ApplyDiff replays onto m every byte at which mod differs from base,
+// in ascending address order. base is a pre-run snapshot and mod a
+// clone of it that has since been mutated; ApplyDiff commits mod's
+// writes into m through StoreByte, so code-generation tracking sees
+// them exactly like directly executed stores. The sharded multi-ring
+// machines use this to merge per-shard memories back into the shared
+// memory in fixed ring order: page indices are visited sorted and bytes
+// ascending, so the merge is deterministic regardless of goroutine
+// scheduling.
+//
+// A write of a value equal to base's byte is invisible to the diff;
+// that is sound under the machines' documented requirement that
+// parallel workloads have disjoint write sets (no two shards write the
+// same location, so no shard's write can mask another's).
+func (m *Memory) ApplyDiff(base, mod *Memory) {
+	idxs := make([]uint32, 0, len(mod.pages))
+	for idx := range mod.pages {
+		idxs = append(idxs, idx)
+	}
+	for idx := range base.pages {
+		if _, ok := mod.pages[idx]; !ok {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	var zero [PageSize]byte
+	for _, idx := range idxs {
+		bp, mp := base.pages[idx], mod.pages[idx]
+		if bp == nil {
+			bp = &zero
+		}
+		if mp == nil {
+			mp = &zero
+		}
+		if *bp == *mp {
+			continue
+		}
+		addr := idx << pageShift
+		for off := uint32(0); off < PageSize; off++ {
+			if bp[off] != mp[off] {
+				m.StoreByte(addr+off, mp[off])
+			}
+		}
+	}
+}
+
 // Clone returns a deep copy; used to give each simulated machine an
 // identical initial memory image.
 func (m *Memory) Clone() *Memory {

@@ -160,6 +160,25 @@ type Nop struct{}
 // Emit discards the event.
 func (Nop) Emit(Event) {}
 
+// Buffer is an Observer that records events in emission order for
+// later replay. The sharded multi-ring machines give each shard a
+// private Buffer while it runs on its own goroutine, then Replay the
+// buffers into the real observer in ring order — so a sharded run's
+// event stream is identical to the sequential engine's.
+type Buffer struct {
+	Events []Event
+}
+
+// Emit appends the event to the buffer.
+func (b *Buffer) Emit(e Event) { b.Events = append(b.Events, e) }
+
+// Replay emits every buffered event into dst in recorded order.
+func (b *Buffer) Replay(dst Observer) {
+	for _, e := range b.Events {
+		dst.Emit(e)
+	}
+}
+
 // tee fans one stream out to several observers.
 type tee []Observer
 

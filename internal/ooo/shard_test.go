@@ -1,0 +1,126 @@
+package ooo
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"diag/internal/mem"
+	"diag/internal/obsv"
+)
+
+// shardImage builds the data-parallel reduction the multicore tests
+// use: each core sums its chunk of a 256-word array into 0x900+4*tid —
+// disjoint write sets, the documented multicore contract.
+func shardImage(t testing.TB) *mem.Image {
+	t.Helper()
+	img := build(t, `
+	li   t0, 256
+	divu t1, t0, gp
+	mul  t2, t1, tp
+	add  t3, t2, t1
+	li   s0, 0x100000
+	li   s1, 0
+loop:
+	slli t4, t2, 2
+	add  t4, t4, s0
+	lw   t5, 0(t4)
+	add  s1, s1, t5
+	addi t2, t2, 1
+	blt  t2, t3, loop
+	slli t6, tp, 2
+	li   s2, 0x900
+	add  s2, s2, t6
+	sw   s1, 0(s2)
+	ebreak
+	`)
+	data := make([]byte, 1024)
+	for i := 0; i < 256; i++ {
+		w := uint32(i)*5 + 2
+		data[4*i] = byte(w)
+		data[4*i+1] = byte(w >> 8)
+		data[4*i+2] = byte(w >> 16)
+		data[4*i+3] = byte(w >> 24)
+	}
+	img.Segments = append(img.Segments, mem.Segment{Addr: 0x100000, Data: data})
+	return img
+}
+
+// runShards executes img on a fresh cores-core baseline with the given
+// shard count, capturing the full observer event stream.
+func runShards(t testing.TB, img *mem.Image, cores, shards int) (Stats, uint64, []obsv.Event, error) {
+	t.Helper()
+	mach, err := NewMachine(BaselineMulticore(cores), img)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	buf := &obsv.Buffer{}
+	mach.SetObserver(buf)
+	mach.SetShards(shards)
+	runErr := mach.Run()
+	return mach.Stats(), mach.Mem().Digest(), buf.Events, runErr
+}
+
+// TestShardedMulticoreMatchesSequential is the determinism gate for the
+// sharded multicore baseline: statistics, final-memory digest, and the
+// complete observer event stream must be identical at every shard count.
+func TestShardedMulticoreMatchesSequential(t *testing.T) {
+	img := shardImage(t)
+	refStats, refDigest, refEvents, err := runShards(t, img, 4, 1)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	if refStats.Retired == 0 || len(refEvents) == 0 {
+		t.Fatal("sequential reference is empty")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		st, digest, events, err := runShards(t, img, 4, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(st, refStats) {
+			t.Errorf("shards=%d: stats diverge:\n got %+v\nwant %+v", shards, st, refStats)
+		}
+		if digest != refDigest {
+			t.Errorf("shards=%d: memory digest %#x, want %#x", shards, digest, refDigest)
+		}
+		if !reflect.DeepEqual(events, refEvents) {
+			t.Errorf("shards=%d: observer stream diverges (%d events, want %d)",
+				shards, len(events), len(refEvents))
+		}
+	}
+}
+
+// TestShardedMulticoreErrorAttribution pins failure semantics: lowest
+// failing core wins with the sequential engine's wrapped error.
+func TestShardedMulticoreErrorAttribution(t *testing.T) {
+	img := build(t, `
+	li   t1, 1
+	bne  tp, t1, ok
+	ecall
+ok:
+	ebreak
+	`)
+	seqErr := func() error {
+		mach, err := NewMachine(BaselineMulticore(4), img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mach.Run()
+	}()
+	mach, err := NewMachine(BaselineMulticore(4), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.SetShards(4)
+	shErr := mach.Run()
+	if seqErr == nil || shErr == nil {
+		t.Fatalf("expected failures, got seq=%v sharded=%v", seqErr, shErr)
+	}
+	if seqErr.Error() != shErr.Error() {
+		t.Errorf("error mismatch:\n sequential: %v\n sharded:    %v", seqErr, shErr)
+	}
+	if !strings.HasPrefix(shErr.Error(), "core 1:") {
+		t.Errorf("error not attributed to core 1: %v", shErr)
+	}
+}

@@ -201,8 +201,10 @@ func (m *Machine) State() *MachineState {
 		Mem:          m.mem.State(),
 		Cores:        make([]CoreState, len(m.cores)),
 		L2s:          make([]cache.State, len(m.l2s)),
-		DRAMAccesses: m.dram.Accesses,
-		NextCore:     m.nextCore,
+		NextCore: m.nextCore,
+	}
+	for _, d := range m.drams {
+		st.DRAMAccesses += d.Accesses
 	}
 	for i, c := range m.cores {
 		st.Cores[i] = c.State()
@@ -243,7 +245,9 @@ func NewMachineFromState(st *MachineState) (*Machine, error) {
 			return nil, fmt.Errorf("ooo: core %d: %w", i, err)
 		}
 	}
-	mach.dram.Accesses = st.DRAMAccesses
+	// The per-core DRAM split is a host-side concern (Stats sums the
+	// counters); the serialized total restores into the first one.
+	mach.drams[0].Accesses = st.DRAMAccesses
 	mach.nextCore = st.NextCore
 	return mach, nil
 }

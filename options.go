@@ -60,6 +60,7 @@ type runOpts struct {
 	trace      io.Writer
 	traceDepth int
 	obs        obsv.Observer
+	shards     int
 }
 
 // WithContext runs the machine under ctx: cancellation aborts the
@@ -124,6 +125,18 @@ func WithTraceDepth(n int) RunOption {
 // step loops nothing. See docs/OBSERVABILITY.md for the event taxonomy.
 func WithObserver(obs Observer) RunOption {
 	return func(o *runOpts) { o.obs = obs }
+}
+
+// WithShards lets a multi-ring DiAG machine or multicore baseline
+// execute up to n rings/cores concurrently on host goroutines
+// (Machine.SetShards / BaselineMachine.SetShards underneath). Sharding
+// is an execution strategy, not an architectural knob: statistics,
+// cycle counts, final memory, observer event streams, and error
+// attribution are byte-identical at any shard count. n <= 1 (the
+// default) keeps the sequential engine; the ISS target ignores it
+// (one hart has nothing to shard).
+func WithShards(n int) RunOption {
+	return func(o *runOpts) { o.shards = n }
 }
 
 // applyOptions folds opts into a resolved option set and the run's

@@ -205,6 +205,7 @@ func (t *diagTarget) Run(p *Program, opts ...RunOption) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mach.SetShards(o.shards)
 	return t.drive(o, mach, func() (bool, error) { return mach.RunUntil(ctx, o.runUntil) })
 }
 
@@ -219,6 +220,7 @@ func (t *diagTarget) Resume(s *Snapshot, opts ...RunOption) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mach.SetShards(o.shards)
 	mach.SetBudgets(o.maxInst, o.maxCycles)
 	return t.drive(o, mach, func() (bool, error) { return mach.RunUntil(ctx, o.runUntil) })
 }
@@ -304,6 +306,7 @@ func (t *oooTarget) Run(p *Program, opts ...RunOption) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mach.SetShards(o.shards)
 	return t.drive(o, mach, func() (bool, error) { return mach.RunUntil(ctx, o.runUntil) })
 }
 
@@ -318,6 +321,7 @@ func (t *oooTarget) Resume(s *Snapshot, opts ...RunOption) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mach.SetShards(o.shards)
 	mach.SetBudgets(o.maxInst, o.maxCycles)
 	return t.drive(o, mach, func() (bool, error) { return mach.RunUntil(ctx, o.runUntil) })
 }

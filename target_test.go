@@ -41,6 +41,14 @@ func buildWorkload(t *testing.T, name string) *diag.Program {
 // codec, and resuming the decoded copy.
 func checkStability(t *testing.T, mkTarget func() diag.Target, img *diag.Program) {
 	t.Helper()
+	checkStabilityAt(t, mkTarget, img, 0)
+}
+
+// checkStabilityAt is checkStability with the pause point shifted by
+// delta instructions off the N/2 alignment; the superblock-on column
+// uses an odd delta so the pause lands inside a decoded superblock.
+func checkStabilityAt(t *testing.T, mkTarget func() diag.Target, img *diag.Program, delta uint64) {
+	t.Helper()
 
 	straightCol := diag.NewEventCollector(0)
 	straight, err := mkTarget().Run(img, diag.WithObserver(straightCol))
@@ -51,8 +59,8 @@ func checkStability(t *testing.T, mkTarget func() diag.Target, img *diag.Program
 		t.Fatal("straight run not done")
 	}
 
-	half := straight.Retired / 2
-	if half == 0 {
+	half := straight.Retired/2 + delta
+	if half == 0 || half >= straight.Retired {
 		t.Fatal("workload too small to split")
 	}
 	splitCol := diag.NewEventCollector(0)
@@ -118,18 +126,25 @@ func checkStability(t *testing.T, mkTarget func() diag.Target, img *diag.Program
 // observable may change.
 func TestTargetStability(t *testing.T) {
 	targets := []struct {
-		name string
-		mk   func() diag.Target
+		name  string
+		mk    func() diag.Target
+		delta uint64 // shifts the pause point off the N/2 alignment
 	}{
-		{"iss", func() diag.Target { return diag.ISS() }},
-		{"F4C2", func() diag.Target { return diag.DiAG(diag.F4C2()) }},
-		{"ooo", func() diag.Target { return diag.OoO(diag.Baseline()) }},
+		{"iss", func() diag.Target { return diag.ISS() }, 0},
+		// Superblock-on column: the ISS target dispatches whole decoded
+		// superblocks, and the odd pause offset makes the pause land
+		// inside a block — a mid-block pause must fall back to exact
+		// per-instruction retirement and restore losslessly from a cold
+		// block cache.
+		{"iss-sb", func() diag.Target { return diag.ISS() }, 3},
+		{"F4C2", func() diag.Target { return diag.DiAG(diag.F4C2()) }, 0},
+		{"ooo", func() diag.Target { return diag.OoO(diag.Baseline()) }, 0},
 	}
 	for _, tc := range targets {
 		for _, wl := range stabilityWorkloads {
 			t.Run(tc.name+"/"+wl, func(t *testing.T) {
 				t.Parallel()
-				checkStability(t, tc.mk, buildWorkload(t, wl))
+				checkStabilityAt(t, tc.mk, buildWorkload(t, wl), tc.delta)
 			})
 		}
 	}
