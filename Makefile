@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke difftest-smoke docs-check trace-smoke snap-smoke resume-smoke api-check
+.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke difftest-smoke docs-check trace-smoke snap-smoke resume-smoke server-smoke api-check
 
 all: build vet test
 
@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=$(FUZZTIME) ./internal/asm/
 	$(GO) test -run=NONE -fuzz=FuzzMemoryOps -fuzztime=$(FUZZTIME) ./internal/mem/
 	$(GO) test -run=NONE -fuzz=FuzzScan -fuzztime=$(FUZZTIME) ./internal/journal/
+	$(GO) test -run=NONE -fuzz=FuzzSubmitRequest -fuzztime=$(FUZZTIME) ./internal/server/
 
 # Differential conformance smoke: random programs across the full
 # architecture matrix (ISS / DiAG ring configs / OoO). Exit 1 on any
@@ -101,6 +102,13 @@ snap-smoke:
 # byte-identical to uninterrupted runs.
 resume-smoke:
 	./scripts/resume_smoke.sh
+
+# Simulation-service smoke: start diag-server on an ephemeral port,
+# submit the same run twice (second must be a cache hit with a
+# byte-identical result body), check the /metrics counters, and SIGTERM
+# for a clean drain + exit 0.
+server-smoke:
+	./scripts/server_smoke.sh
 
 # Public-API compatibility: the exported surface of package diag must
 # match testdata/api.txt; regenerate deliberately with

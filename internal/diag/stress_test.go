@@ -1,0 +1,83 @@
+package diag
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestStressShardPauseResumeCycling runs many multi-ring machines
+// concurrently, each cycling through pause points and changing its
+// shard count between RunUntil segments (legal: the machine is
+// quiescent at a pause; sharding is an execution strategy, not state).
+// Every machine must converge to the reference run's statistics and
+// memory digest regardless of how its shard count was cycled — and the
+// whole dance must be clean under -race, which the CI suite runs.
+func TestStressShardPauseResumeCycling(t *testing.T) {
+	img := shardImage(t)
+	const rings = 4
+
+	refStats, refDigest, _, err := runShards(t, img, rings, 1)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	workers := 8
+	if testing.Short() {
+		workers = 2
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mach, err := NewMachine(MultiRing(F4C32(), rings, 2), img)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if w%2 == 0 {
+				// Even workers: straight sharded run, exercising the
+				// concurrent engine while the odd workers pause/resume.
+				mach.SetShards(rings)
+				if err := mach.Run(); err != nil {
+					errs <- fmt.Errorf("worker %d sharded run: %w", w, err)
+					return
+				}
+			} else {
+				// Odd workers: pause every `step` retired instructions and
+				// flip the shard count at every pause.
+				step := uint64(50 + 25*w)
+				limit := step
+				for shard := 1; ; shard++ {
+					mach.SetShards(1 + shard%rings)
+					paused, err := mach.RunUntil(context.Background(), limit)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d at limit %d: %w", w, limit, err)
+						return
+					}
+					if !paused {
+						break
+					}
+					limit += step
+				}
+			}
+			if got := mach.Mem().Digest(); got != refDigest {
+				errs <- fmt.Errorf("worker %d memory digest %x, want %x", w, got, refDigest)
+				return
+			}
+			if got := mach.Stats(); !reflect.DeepEqual(got, refStats) {
+				errs <- fmt.Errorf("worker %d stats diverged from reference:\n%+v\nvs\n%+v", w, got, refStats)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diag/internal/diagerr"
+	"diag/internal/journal"
+)
+
+// TestStressReplayRacingRetries drives the journal replay fast path
+// concurrently against live retrying jobs: half the sweep is journaled
+// up front, then a resumed run replays those results on the engine
+// goroutine while the other half executes across many workers, each
+// failing transiently once before succeeding. The interleaving of
+// replay emission, retry backoff, and journal appends is exactly the
+// window a resumed campaign lives in; the suite runs under -race in CI,
+// which is the real assertion here.
+func TestStressReplayRacingRetries(t *testing.T) {
+	const n = 24
+	iters := 4
+	if testing.Short() {
+		iters = 1
+	}
+	for iter := 0; iter < iters; iter++ {
+		t.Run(fmt.Sprintf("iter%d", iter), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.journal")
+			m := journal.Manifest{Tool: "exp-stress", Seed: int64(iter), Jobs: n}
+
+			// Phase 1: journal the first half of the sweep; the second
+			// half fails transiently (no retries yet), so the journal
+			// holds exactly n/2 completed jobs.
+			log, err := journal.Create(path, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			half := make([]Job, n)
+			for i := range half {
+				i := i
+				half[i] = Job{Name: fmt.Sprintf("job-%d", i)}
+				if i < n/2 {
+					half[i].Run = func(context.Context) (any, error) { return i * 10, nil }
+				} else {
+					half[i].Run = func(context.Context) (any, error) {
+						return nil, diagerr.Wrap(diagerr.ErrTimeout, "not yet")
+					}
+				}
+			}
+			if _, err := Run(context.Background(), half, Options{
+				Workers: 4,
+				Journal: jsonBinding(log, "stress"),
+			}); err != nil {
+				t.Fatalf("phase 1: %v", err)
+			}
+			if err := log.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Phase 2: resume. Journaled jobs replay instantly while the
+			// rest run live, each transiently failing its first attempt.
+			log2, st, err := journal.Resume(path, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer log2.Close()
+			doneCount, _ := st.CountDone()
+			if doneCount != n/2 {
+				t.Fatalf("journal holds %d done jobs, want %d", doneCount, n/2)
+			}
+			attempts := make([]int32, n)
+			jobs := make([]Job, n)
+			for i := range jobs {
+				i := i
+				jobs[i] = Job{
+					Name: fmt.Sprintf("job-%d", i),
+					Run: func(context.Context) (any, error) {
+						if atomic.AddInt32(&attempts[i], 1) == 1 {
+							return nil, diagerr.Wrap(diagerr.ErrTimeout, "transient")
+						}
+						return i * 10, nil
+					},
+				}
+			}
+			res, err := Run(context.Background(), jobs, Options{
+				Workers: 8,
+				Journal: jsonBinding(log2, "stress"),
+				Retry:   Retry{Max: 2, BaseDelay: time.Microsecond, Seed: 7},
+			})
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			replayed := 0
+			for i, r := range res {
+				if r.Err != nil {
+					t.Fatalf("job %d: %v", i, r.Err)
+				}
+				if r.Value != i*10 {
+					t.Fatalf("job %d value = %v, want %d", i, r.Value, i*10)
+				}
+				if r.Replayed {
+					replayed++
+					if attempts[i] != 0 {
+						t.Fatalf("replayed job %d ran %d times", i, attempts[i])
+					}
+				} else if r.Attempts != 2 {
+					t.Fatalf("live job %d attempts = %d, want 2 (one transient failure)", i, r.Attempts)
+				}
+			}
+			if replayed != doneCount {
+				t.Fatalf("replayed %d jobs, journal held %d", replayed, doneCount)
+			}
+		})
+	}
+}

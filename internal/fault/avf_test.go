@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// mkReport hand-builds a report from (class, outcome, count) rows, so
+// the AVF math is pinned against arithmetic done by eye, not by the
+// campaign machinery it is supposed to check.
+func mkReport(rows []struct {
+	c Class
+	o Outcome
+	n int
+}) *Report {
+	r := &Report{Machine: "F4C2", Seed: 1}
+	for _, row := range rows {
+		for i := 0; i < row.n; i++ {
+			r.Trials = append(r.Trials, Trial{Fault: Fault{Class: row.c}, Outcome: row.o})
+		}
+	}
+	return r
+}
+
+// TestAVFTableMath pins the vulnerability arithmetic: AVF is the
+// non-masked share of a class's trials, 1 − masked/total.
+func TestAVFTableMath(t *testing.T) {
+	r := mkReport([]struct {
+		c Class
+		o Outcome
+		n int
+	}{
+		{SiteLane, Masked, 6},
+		{SiteLane, SDC, 2},
+		{SiteLane, Detected, 1},
+		{SiteLane, Crash, 1},
+		{SiteFLane, Masked, 4},
+		{SitePC, SDC, 3},
+		{SitePC, Hang, 1},
+		{SiteMem, Masked, 2},
+		{SiteMem, SDC, 2},
+	})
+
+	cases := []struct {
+		class Class
+		want  float64
+	}{
+		{SiteLane, 0.4},  // 10 trials, 6 masked
+		{SiteFLane, 0.0}, // all masked
+		{SitePC, 1.0},    // nothing masked
+		{SiteMem, 0.5},   // half masked
+		{SiteIBuf, 0.0},  // no trials at all -> 0 by contract
+	}
+	for _, c := range cases {
+		if got := r.AVF(c.class); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("AVF(%s) = %v, want %v", c.class, got, c.want)
+		}
+	}
+
+	counts := r.Counts()
+	if counts[SiteLane][Masked] != 6 || counts[SiteLane][SDC] != 2 ||
+		counts[SiteLane][Detected] != 1 || counts[SiteLane][Crash] != 1 {
+		t.Fatalf("lane counts = %v", counts[SiteLane])
+	}
+	if counts[SitePC][Hang] != 1 {
+		t.Fatalf("pc hang count = %d", counts[SitePC][Hang])
+	}
+}
+
+// TestAVFTableRendering pins the rendered table's load-bearing cells:
+// per-class rows with their outcome tallies and AVF, and the total row
+// aggregating every class.
+func TestAVFTableRendering(t *testing.T) {
+	r := mkReport([]struct {
+		c Class
+		o Outcome
+		n int
+	}{
+		{SiteLane, Masked, 3},
+		{SiteLane, SDC, 1},
+		{SiteMem, Crash, 2},
+	})
+	table := r.Table()
+
+	if !strings.Contains(table, "Fault campaign: F4C2, 6 trials, seed 1") {
+		t.Errorf("table title wrong:\n%s", table)
+	}
+	for _, want := range []string{
+		"lane", "mem", "TOTAL",
+		"0.25", // lane AVF: 1 - 3/4
+		"1.00", // mem AVF: nothing masked
+		"0.50", // total row: 3 masked of 6
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	// A class with no trials contributes no row.
+	if strings.Contains(table, "flane") {
+		t.Errorf("empty class rendered a row:\n%s", table)
+	}
+}
+
+// TestAVFIgnoresOutOfRangeTrials: corrupt class/outcome values are
+// dropped by Counts rather than corrupting a bucket.
+func TestAVFIgnoresOutOfRangeTrials(t *testing.T) {
+	r := &Report{Trials: []Trial{
+		{Fault: Fault{Class: SiteLane}, Outcome: Masked},
+		{Fault: Fault{Class: Class(99)}, Outcome: Masked},
+		{Fault: Fault{Class: SiteLane}, Outcome: Outcome(77)},
+	}}
+	counts := r.Counts()
+	total := 0
+	for c := range counts {
+		for o := range counts[c] {
+			total += counts[c][o]
+		}
+	}
+	if total != 1 {
+		t.Fatalf("counted %d trials, want 1 (out-of-range dropped)", total)
+	}
+	if got := r.AVF(SiteLane); got != 0 {
+		t.Fatalf("AVF with one masked trial = %v, want 0", got)
+	}
+}

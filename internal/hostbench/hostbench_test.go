@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"diag/internal/mem"
 )
 
 // BenchmarkHost exposes every case as a sub-benchmark. CI runs this
@@ -63,6 +65,39 @@ func TestStepLoopsAllocationFree(t *testing.T) {
 				t.Errorf("%s: %d allocs/op over %d steps, want 0", name, got, r.N)
 			}
 		})
+	}
+}
+
+// TestE2EWarmedAllocationsPinned reconciles the step-loop check above
+// with the warmed end-to-end rows, which report exactly 1 alloc/op ·
+// 4096 B/op. That allocation is not simulator overhead: each iteration
+// starts from a fresh sparse mem.Memory, and the kernel's first store
+// to its output region first-touch-allocates one 4 KiB page inside the
+// timed window (the cpu.Run(1) warm-up faults in the predecode and
+// superblock caches, but cannot know which data pages the program will
+// write). It is the simulated program's own footprint, irreducible
+// without kernel-specific pre-touching — so it is pinned here at
+// exactly one page rather than hidden. If this test starts failing
+// with >1 allocs, a real allocation crept into the hot loop; if with
+// 0, the memory model's paging changed and the pin should move on
+// purpose.
+func TestE2EWarmedAllocationsPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-driven; skipped in -short")
+	}
+	c, ok := CaseByName("iss/hotspot")
+	if !ok {
+		t.Fatal("case iss/hotspot missing")
+	}
+	r := testing.Benchmark(c.Bench)
+	if r.N == 0 {
+		t.Fatal("benchmark failed (see log)")
+	}
+	if got := r.AllocsPerOp(); got != 1 {
+		t.Errorf("warmed e2e iss row: %d allocs/op, want exactly 1 (the first-touch output page)", got)
+	}
+	if got := r.AllocedBytesPerOp(); got != int64(mem.PageSize) {
+		t.Errorf("warmed e2e iss row: %d B/op, want %d (one page)", got, mem.PageSize)
 	}
 }
 

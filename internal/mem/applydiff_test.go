@@ -1,0 +1,152 @@
+package mem
+
+import "testing"
+
+// TestApplyDiffEmpty: a diff between a snapshot and an untouched clone
+// commits nothing — the target's digest and page set are unchanged.
+func TestApplyDiffEmpty(t *testing.T) {
+	base := &Memory{}
+	base.StoreWord(0x100, 0xdeadbeef)
+	base.StoreWord(0x2000, 42)
+
+	target := base.Clone()
+	before := target.Digest()
+	target.ApplyDiff(base, base.Clone())
+	if got := target.Digest(); got != before {
+		t.Fatalf("empty diff changed digest: %x -> %x", before, got)
+	}
+}
+
+// TestApplyDiffTouchedButUnmodified: pages the shard allocated by
+// first-touch loads (page exists, contents still zero) produce no
+// writes — load-only traffic must not dirty the merge target.
+func TestApplyDiffTouchedButUnmodified(t *testing.T) {
+	base := &Memory{}
+	mod := base.Clone()
+	_ = mod.LoadWord(0x5000) // allocates the page with zeroes in some impls; at minimum must not diff
+
+	target := &Memory{}
+	target.ApplyDiff(base, mod)
+	if got := target.Digest(); got != (&Memory{}).Digest() {
+		t.Fatalf("load-only shard dirtied the target: %x", got)
+	}
+}
+
+// TestApplyDiffCommitsOnlyChangedBytes: bytes equal to base pass
+// through untouched even when they sit in a written page, so a diff
+// never clobbers target-side state outside the shard's write set.
+func TestApplyDiffCommitsOnlyChangedBytes(t *testing.T) {
+	base := &Memory{}
+	base.StoreWord(0x100, 0x11111111)
+	base.StoreWord(0x104, 0x22222222)
+
+	mod := base.Clone()
+	mod.StoreWord(0x104, 0x33333333) // change one word, leave 0x100 alone
+
+	// The target has since diverged at 0x100 (a different shard's
+	// write); the diff must preserve it.
+	target := base.Clone()
+	target.StoreWord(0x100, 0x44444444)
+
+	target.ApplyDiff(base, mod)
+	if got := target.LoadWord(0x100); got != 0x44444444 {
+		t.Fatalf("untouched byte clobbered: %#x", got)
+	}
+	if got := target.LoadWord(0x104); got != 0x33333333 {
+		t.Fatalf("changed byte not committed: %#x", got)
+	}
+}
+
+// TestApplyDiffOverlappingWrites: two shards that (illegally, per the
+// disjoint-write-set contract) write the same location merge in apply
+// order — last ApplyDiff wins, deterministically.
+func TestApplyDiffOverlappingWrites(t *testing.T) {
+	base := &Memory{}
+	base.StoreWord(0x200, 7)
+
+	modA := base.Clone()
+	modA.StoreWord(0x200, 100)
+	modB := base.Clone()
+	modB.StoreWord(0x200, 200)
+
+	target := base.Clone()
+	target.ApplyDiff(base, modA)
+	target.ApplyDiff(base, modB)
+	if got := target.LoadWord(0x200); got != 200 {
+		t.Fatalf("overlap merge = %d, want 200 (last apply wins)", got)
+	}
+
+	// A revert is invisible: writing base's own value back produces no
+	// diff, so the earlier shard's value survives.
+	modC := base.Clone()
+	modC.StoreWord(0x200, 99)
+	modC.StoreWord(0x200, 7) // back to base's value
+	target2 := base.Clone()
+	target2.ApplyDiff(base, modA)
+	target2.ApplyDiff(base, modC)
+	if got := target2.LoadWord(0x200); got != 100 {
+		t.Fatalf("reverted write leaked into the merge: %d, want 100", got)
+	}
+}
+
+// TestApplyDiffPageDisappeared: base holds a page the mod never
+// touched (mod page absent). The diff treats the missing page as zero,
+// writing zeroes over base's bytes — pinning that surprising-but-
+// documented behavior so a refactor doesn't silently change it.
+func TestApplyDiffPageDisappeared(t *testing.T) {
+	base := &Memory{}
+	base.StoreWord(0x300, 5)
+	mod := &Memory{} // no pages at all
+
+	target := base.Clone()
+	target.ApplyDiff(base, mod)
+	if got := target.LoadWord(0x300); got != 0 {
+		t.Fatalf("missing mod page not zeroed: %d", got)
+	}
+}
+
+// TestApplyDiffWrappedMemory: the diff walks the top of the 32-bit
+// address space correctly — changes in the last page (including the
+// very last byte) commit without overflowing the page-offset loop.
+func TestApplyDiffWrappedMemory(t *testing.T) {
+	const last = ^uint32(0) // 0xFFFFFFFF
+
+	base := &Memory{}
+	base.StoreByte(last-3, 0xAA)
+
+	mod := base.Clone()
+	mod.StoreByte(last, 0x7F)   // very last byte of the address space
+	mod.StoreByte(last-3, 0xBB) // change an existing byte in the same page
+	mod.StoreWord(0x40, 0x12345678)
+
+	target := base.Clone()
+	target.ApplyDiff(base, mod)
+	if got := target.LoadByte(last); got != 0x7F {
+		t.Fatalf("last byte = %#x, want 0x7f", got)
+	}
+	if got := target.LoadByte(last - 3); got != 0xBB {
+		t.Fatalf("byte near top = %#x, want 0xbb", got)
+	}
+	if got := target.LoadWord(0x40); got != 0x12345678 {
+		t.Fatalf("low page change lost: %#x", got)
+	}
+	if got, want := target.Digest(), mod.Digest(); got != want {
+		t.Fatalf("merged digest %x, want %x", got, want)
+	}
+}
+
+// TestApplyDiffCrossPage: a store spanning a page boundary diffs into
+// both pages.
+func TestApplyDiffCrossPage(t *testing.T) {
+	boundary := uint32(PageSize) - 2 // word straddles pages 0 and 1
+
+	base := &Memory{}
+	mod := base.Clone()
+	mod.StoreWord(boundary, 0xCAFEBABE)
+
+	target := &Memory{}
+	target.ApplyDiff(base, mod)
+	if got := target.LoadWord(boundary); got != 0xCAFEBABE {
+		t.Fatalf("cross-page word = %#x", got)
+	}
+}

@@ -40,6 +40,11 @@ func (h *IntervalHist) Observe(v int64) {
 // Count returns the number of observations.
 func (h *IntervalHist) Count() uint64 { return h.count }
 
+// Sum returns the total of all observations (0 if empty) — the exact
+// numerator of Mean, exposed so exporters can fold histograms together
+// without losing precision to the float mean.
+func (h *IntervalHist) Sum() int64 { return h.sum }
+
 // Mean returns the arithmetic mean of the observations, or 0 if empty.
 func (h *IntervalHist) Mean() float64 {
 	if h.count == 0 {

@@ -1,0 +1,78 @@
+package ooo
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestStressShardPauseResumeCycling is the baseline-model twin of the
+// internal/diag stress test: many multicore machines run concurrently,
+// half straight-sharded, half cycling pause → SetShards → resume, and
+// every one must land on the reference statistics and memory digest.
+// The suite runs under -race in CI; a shared-state slip in the sharded
+// engine shows up there, not in the digests.
+func TestStressShardPauseResumeCycling(t *testing.T) {
+	img := shardImage(t)
+	const cores = 4
+
+	refStats, refDigest, _, err := runShards(t, img, cores, 1)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	workers := 8
+	if testing.Short() {
+		workers = 2
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mach, err := NewMachine(BaselineMulticore(cores), img)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if w%2 == 0 {
+				mach.SetShards(cores)
+				if err := mach.Run(); err != nil {
+					errs <- fmt.Errorf("worker %d sharded run: %w", w, err)
+					return
+				}
+			} else {
+				step := uint64(50 + 25*w)
+				limit := step
+				for shard := 1; ; shard++ {
+					mach.SetShards(1 + shard%cores)
+					paused, err := mach.RunUntil(context.Background(), limit)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d at limit %d: %w", w, limit, err)
+						return
+					}
+					if !paused {
+						break
+					}
+					limit += step
+				}
+			}
+			if got := mach.Mem().Digest(); got != refDigest {
+				errs <- fmt.Errorf("worker %d memory digest %x, want %x", w, got, refDigest)
+				return
+			}
+			if got := mach.Stats(); !reflect.DeepEqual(got, refStats) {
+				errs <- fmt.Errorf("worker %d stats diverged from reference:\n%+v\nvs\n%+v", w, got, refStats)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"diag/internal/cache"
+	"diag/internal/diag"
+	"diag/internal/ooo"
+)
+
+// relClose holds |got−want| ≤ tol·|want| — pinned model outputs may
+// drift only by float noise, never by a silent model change.
+func relClose(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	const tol = 1e-12
+	if math.Abs(got-want) > tol*math.Abs(want) {
+		t.Errorf("%s = %.15e, want %.15e (model output moved; update the pin only for a deliberate model change)", name, got, want)
+	}
+}
+
+// TestDiAGEnergyPinned pins the full DiAG energy breakdown on one fixed
+// activity profile. These numbers are the model's contract with every
+// figure and report built on it: a change here silently reshapes the
+// paper's Figure 11 reproduction, so it must be deliberate.
+func TestDiAGEnergyPinned(t *testing.T) {
+	st := diag.Stats{
+		Cycles:        1_000_000,
+		Retired:       2_000_000,
+		ClusterCycles: 2_000_000,
+		PEBusyCycles:  2_000_000,
+		FPUBusyCycles: 500_000,
+		ALUOps:        1_500_000,
+		FPOps:         500_000,
+		LaneWrites:    1_800_000,
+		MemOps:        250_000,
+		Loads:         200_000,
+		Stores:        50_000,
+		L1D:           cache.Stats{Accesses: 250_000, Misses: 10_000},
+		L1I:           cache.Stats{Accesses: 62_500, Misses: 1_000},
+		DRAMAccesses:  10_000,
+	}
+	b := DiAGEnergy(diag.F4C2(), st)
+	relClose(t, "FP", b.FP, 1.104600000000000e-04)
+	relClose(t, "Lanes", b.Lanes, 7.020400000000001e-05)
+	relClose(t, "Memory", b.Memory, 3.636653390593274e-04)
+	relClose(t, "Control", b.Control, 1.710400000000000e-04)
+	relClose(t, "Total", b.Total(), 7.153693390593274e-04)
+}
+
+// TestOoOEnergyPinned pins the baseline model on a minimal profile:
+// with zero recorded activity beyond cycles and retires, everything
+// left is static power plus per-commit frontend energy — the overhead
+// DiAG exists to eliminate, so its magnitude is load-bearing.
+func TestOoOEnergyPinned(t *testing.T) {
+	st := ooo.Stats{Cycles: 1_000_000, Retired: 1_500_000}
+	b := OoOEnergy(ooo.Baseline(), st, 2000)
+	relClose(t, "FP", b.FP, 5.260000000000000e-06)
+	relClose(t, "Lanes", b.Lanes, 3.000000000000000e-05)
+	relClose(t, "Memory", b.Memory, 6.600000000000001e-05)
+	relClose(t, "Control", b.Control, 5.500000000000000e-04)
+	relClose(t, "Total", b.Total(), 6.512600000000001e-04)
+}
+
+// TestCacheModelPinned pins the CACTI-like geometry fits at a few
+// capacities (the √capacity access curve and linear leakage).
+func TestCacheModelPinned(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"access 8K", CacheAccessEnergy(8 << 10), 5.0e-11},
+		{"access 32K", CacheAccessEnergy(32 << 10), 1.0e-10},
+		{"access 64K", CacheAccessEnergy(64 << 10), 1.414213562373095e-10},
+		{"leak 32K", CacheLeakagePower(32 << 10), 1.0e-3},
+		{"leak 64K", CacheLeakagePower(64 << 10), 2.0e-3},
+	}
+	for _, c := range cases {
+		relClose(t, c.name, c.got, c.want)
+	}
+}
+
+// TestEnergyLinearity pins a structural property the pins above rely
+// on: doubling every activity counter (and cycle count) exactly doubles
+// every component — the model has no nonlinear terms that would make a
+// single-point pin insufficient.
+func TestEnergyLinearity(t *testing.T) {
+	mk := func(scale int64) diag.Stats {
+		return diag.Stats{
+			Cycles:        1000 * scale,
+			ClusterCycles: 2000 * scale,
+			PEBusyCycles:  2000 * scale,
+			FPUBusyCycles: 500 * scale,
+			ALUOps:        uint64(1500 * scale),
+			FPOps:         uint64(500 * scale),
+			LaneWrites:    uint64(1800 * scale),
+			L1D:           cache.Stats{Accesses: uint64(250 * scale)},
+			DRAMAccesses:  uint64(10 * scale),
+		}
+	}
+	one := DiAGEnergy(diag.F4C2(), mk(1))
+	two := DiAGEnergy(diag.F4C2(), mk(2))
+	relClose(t, "2x FP", two.FP, 2*one.FP)
+	relClose(t, "2x Lanes", two.Lanes, 2*one.Lanes)
+	relClose(t, "2x Memory", two.Memory, 2*one.Memory)
+	relClose(t, "2x Control", two.Control, 2*one.Control)
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// submission is one queued job on its way to execution.
+type submission struct {
+	job  *Job
+	spec *Spec
+}
+
+// batcher coalesces submissions into batches: a batch flushes when it
+// reaches maxSize jobs or when maxWait has elapsed since its first job
+// arrived, whichever comes first (the channel-collector idiom). The
+// wait bound keeps a lone request's latency within maxWait; the size
+// bound keeps a traffic burst from growing a batch without limit.
+// Batching exists for the dedup: identical-key jobs in one flush share
+// a single simulation, so N duplicate submissions cost one run.
+type batcher struct {
+	maxSize int
+	maxWait time.Duration
+	flush   func([]*submission)
+
+	mu     sync.Mutex
+	closed bool
+	ch     chan *submission
+
+	done chan struct{} // closed once the collector goroutine exits
+}
+
+// newBatcher sizes the intake queue and flush policy. Call run (in its
+// own goroutine) to start collecting.
+func newBatcher(queueDepth, maxSize int, maxWait time.Duration, flush func([]*submission)) *batcher {
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	return &batcher{
+		maxSize: maxSize,
+		maxWait: maxWait,
+		flush:   flush,
+		ch:      make(chan *submission, queueDepth),
+		done:    make(chan struct{}),
+	}
+}
+
+// submit enqueues s. It returns false when the batcher is draining or
+// the intake queue is full — the caller turns that into a 503.
+func (b *batcher) submit(s *submission) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	select {
+	case b.ch <- s:
+		return true
+	default:
+		return false
+	}
+}
+
+// depth reports how many submissions are queued but not yet collected.
+func (b *batcher) depth() int { return len(b.ch) }
+
+// close stops intake; the collector flushes whatever is queued and
+// exits. Wait on b.done for the last flush to have been dispatched.
+func (b *batcher) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.closed {
+		b.closed = true
+		close(b.ch)
+	}
+}
+
+// run is the collector loop. A batch opens when the first submission
+// arrives, accumulates until maxSize or the maxWait timer fires, then
+// flushes. flush must be quick (the server's hands the batch to a
+// worker-pool goroutine); a slow flush would stall collection.
+func (b *batcher) run() {
+	defer close(b.done)
+	for {
+		first, ok := <-b.ch
+		if !ok {
+			return
+		}
+		batch := []*submission{first}
+		timer := time.NewTimer(b.maxWait)
+	collect:
+		for len(batch) < b.maxSize {
+			select {
+			case s, ok := <-b.ch:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, s)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.flush(batch)
+	}
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectBatches wires a batcher to an in-memory batch recorder.
+func collectBatches(queueDepth, maxSize int, maxWait time.Duration) (*batcher, func() [][]*submission) {
+	var mu sync.Mutex
+	var batches [][]*submission
+	b := newBatcher(queueDepth, maxSize, maxWait, func(batch []*submission) {
+		mu.Lock()
+		batches = append(batches, batch)
+		mu.Unlock()
+	})
+	go b.run()
+	return b, func() [][]*submission {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([][]*submission(nil), batches...)
+	}
+}
+
+func sub() *submission { return &submission{} }
+
+func TestBatcherFlushAtMaxSize(t *testing.T) {
+	// A huge maxWait means only the size bound can flush.
+	b, got := collectBatches(64, 3, time.Hour)
+	for i := 0; i < 6; i++ {
+		if !b.submit(sub()) {
+			t.Fatalf("submit %d refused", i)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		bs := got()
+		if len(bs) >= 2 {
+			if len(bs[0]) != 3 || len(bs[1]) != 3 {
+				t.Fatalf("batch sizes = %d,%d, want 3,3", len(bs[0]), len(bs[1]))
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out; batches = %d", len(bs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.close()
+	<-b.done
+}
+
+func TestBatcherFlushAtMaxWait(t *testing.T) {
+	// One lone submission must flush within ~maxWait even though the
+	// batch never fills.
+	b, got := collectBatches(64, 1000, 20*time.Millisecond)
+	start := time.Now()
+	b.submit(sub())
+	deadline := start.Add(5 * time.Second)
+	for len(got()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("lone submission never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("partial flush took %v, want ~20ms", elapsed)
+	}
+	if bs := got(); len(bs[0]) != 1 {
+		t.Fatalf("batch size = %d, want 1", len(bs[0]))
+	}
+	b.close()
+	<-b.done
+}
+
+func TestBatcherCloseFlushesPartial(t *testing.T) {
+	// Submissions queued at close time must flush, not drop: the drain
+	// path depends on it.
+	var mu sync.Mutex
+	var total int
+	b := newBatcher(64, 1000, time.Hour, func(batch []*submission) {
+		mu.Lock()
+		total += len(batch)
+		mu.Unlock()
+	})
+	for i := 0; i < 5; i++ {
+		b.submit(sub())
+	}
+	go b.run() // start after queueing so close races nothing
+	b.close()
+	<-b.done
+	mu.Lock()
+	defer mu.Unlock()
+	if total != 5 {
+		t.Fatalf("flushed %d submissions after close, want 5", total)
+	}
+}
+
+func TestBatcherSubmitAfterClose(t *testing.T) {
+	b, _ := collectBatches(64, 4, time.Millisecond)
+	b.close()
+	<-b.done
+	if b.submit(sub()) {
+		t.Fatal("submit accepted after close")
+	}
+	b.close() // idempotent
+}
+
+func TestBatcherQueueFull(t *testing.T) {
+	b := newBatcher(2, 4, time.Hour, func([]*submission) {})
+	// Collector not running: the queue can only fill.
+	if !b.submit(sub()) || !b.submit(sub()) {
+		t.Fatal("queue refused submissions below capacity")
+	}
+	if b.submit(sub()) {
+		t.Fatal("queue accepted a submission beyond capacity")
+	}
+	if d := b.depth(); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+}

@@ -1,0 +1,88 @@
+package server
+
+import "container/list"
+
+// cacheKey is the content address of one result: the job kind, the
+// FNV digest of the assembled program image, and the digest of the
+// request's canonicalized semantic fields. Two requests with the same
+// key are guaranteed the byte-identical result body, because every
+// result is a pure deterministic function of (kind, program, config).
+type cacheKey struct {
+	kind      string
+	prog, cfg uint64
+}
+
+// String renders the key the way job responses expose it.
+func (k cacheKey) String() string {
+	return k.kind + "-" + hex16(k.prog) + "-" + hex16(k.cfg)
+}
+
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// resultCache is the bounded LRU of finished result bodies. Only
+// successful results are cached — a failed job is re-simulated on
+// resubmission. It is not internally synchronized: the server guards
+// every access with its own mutex so lookup, coalesce-attach, and fill
+// are atomic with respect to each other. Hit/miss/evict accounting
+// lives in the server's metrics, not here, so the cache stays a pure
+// data structure.
+type resultCache struct {
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+// newResultCache returns an LRU holding at most capacity results;
+// capacity <= 0 disables caching entirely (every Get misses).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), entries: make(map[cacheKey]*list.Element)}
+}
+
+// Get returns the cached body for k, refreshing its recency. The
+// returned slice is shared — callers must not mutate it.
+func (c *resultCache) Get(k cacheKey) ([]byte, bool) {
+	e, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).body, true
+}
+
+// Put inserts (or refreshes) k's body and returns how many entries
+// were evicted to stay within capacity.
+func (c *resultCache) Put(k cacheKey, body []byte) int {
+	if c.cap <= 0 {
+		return 0
+	}
+	if e, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*cacheEntry).body = body
+		return 0
+	}
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, body: body})
+	evicted := 0
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// Len returns the current entry count.
+func (c *resultCache) Len() int { return c.ll.Len() }

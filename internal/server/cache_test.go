@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func key(i int) cacheKey { return cacheKey{kind: "run", prog: uint64(i), cfg: uint64(i * 31)} }
+
+func TestCacheBasics(t *testing.T) {
+	c := newResultCache(4)
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(key(1), []byte("one"))
+	body, ok := c.Get(key(1))
+	if !ok || string(body) != "one" {
+		t.Fatalf("get = %q, %v", body, ok)
+	}
+	// Refresh replaces the body without growing the cache.
+	c.Put(key(1), []byte("uno"))
+	if body, _ := c.Get(key(1)); string(body) != "uno" {
+		t.Fatalf("refreshed body = %q", body)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(3)
+	for i := 1; i <= 3; i++ {
+		c.Put(key(i), []byte(fmt.Sprint(i)))
+	}
+	// Touch 1 so 2 is the least recently used.
+	c.Get(key(1))
+	if ev := c.Put(key(4), []byte("4")); ev != 1 {
+		t.Fatalf("evicted = %d, want 1", ev)
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	for _, i := range []int{1, 3, 4} {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Fatalf("entry %d missing", i)
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	if ev := c.Put(key(1), []byte("x")); ev != 0 {
+		t.Fatalf("disabled cache evicted %d", ev)
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("disabled cache hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache len = %d", c.Len())
+	}
+}
+
+func TestCacheKeyString(t *testing.T) {
+	k := cacheKey{kind: "run", prog: 0xdeadbeef, cfg: 0x12345}
+	want := "run-00000000deadbeef-0000000000012345"
+	if got := k.String(); got != want {
+		t.Fatalf("key string = %q, want %q", got, want)
+	}
+}

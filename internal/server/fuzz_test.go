@@ -1,0 +1,59 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzSubmitRequest feeds arbitrary bytes to the submit handler and
+// holds it to the service contract: no panic, and every response is
+// either 2xx (the bytes happened to be a valid request) or 4xx (they
+// were not). 5xx on arbitrary input would mean the parser let garbage
+// through to the execution layer.
+func FuzzSubmitRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"kind":"run"}`,
+		`{"kind":"run","machine":"iss","asm":"ebreak"}`,
+		`{"kind":"run","machine":"iss","asm":"li x5, 42\nebreak","max_cycles":100}`,
+		`{"kind":"sweep","machines":["iss","I4C2"],"asm":"ebreak"}`,
+		`{"kind":"fault","machine":"F4C2","asm":"ebreak","trials":1}`,
+		`{"kind":"difftest","trials":1}`,
+		`{"kind":"run","machine":"iss","workload":"hotspot","scale":1}`,
+		`{"kind":"run","machine":"iss","asm":"ebreak","parallel":-1}`,
+		`{"kind":"run","machine":"iss","asm":"ebreak"}{"trailing":1}`,
+		`{"kind":"RUN","machine":"IsS","asm":"ebreak"}`,
+		`{"kind":"run","machine":"iss","asm":" "}`,
+		strings.Repeat(`{`, 1000),
+		`{"kind":"run","machine":"iss","asm":"` + strings.Repeat("nop\\n", 100) + `ebreak"}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	// One unstarted server for the whole fuzz run: submissions queue
+	// (2xx) or are rejected (4xx); nothing needs to execute, because the
+	// contract under test is the parser/validator boundary.
+	srv := New(Config{QueueDepth: 1 << 16})
+	h := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest("POST", "/api/v1/jobs", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req) // any panic fails the fuzz run
+		code := w.Code
+		if !(code >= 200 && code < 300) && !(code >= 400 && code < 500) {
+			// 503 means the long fuzz run filled the intake queue —
+			// overload, not a parsing bug.
+			if code == http.StatusServiceUnavailable {
+				t.Skip("intake queue full")
+			}
+			t.Fatalf("submit(%q) = %d, want 2xx or 4xx", body, code)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"diag/internal/obsv"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"requests_total":  "diag_server_requests_total",
+		"obsv/ev/retire":  "diag_server_obsv_ev_retire",
+		"weird-name.dots": "diag_server_weird_name_dots",
+		"obsv/ev/simt.e":  "diag_server_obsv_ev_simt_e",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	m := newMetrics()
+	m.inc("b_total", 2)
+	m.inc("a_total", 1)
+	m.gauge("g", 7)
+	m.observe("h", 5)
+	m.observe("h", 9)
+
+	render := func() string {
+		var b strings.Builder
+		if err := m.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		// Uptime is the one time-dependent line; strip it.
+		var lines []string
+		for _, l := range strings.Split(b.String(), "\n") {
+			if strings.Contains(l, "uptime") {
+				continue
+			}
+			lines = append(lines, l)
+		}
+		return strings.Join(lines, "\n")
+	}
+	one, two := render(), render()
+	if one != two {
+		t.Fatalf("consecutive idle scrapes differ:\n%s\nvs\n%s", one, two)
+	}
+	for _, want := range []string{
+		"# TYPE diag_server_a_total counter\ndiag_server_a_total 1",
+		"diag_server_b_total 2",
+		"# TYPE diag_server_g gauge\ndiag_server_g 7",
+		"diag_server_h_count 2",
+		"diag_server_h_sum 14",
+		"diag_server_h_max 9",
+	} {
+		if !strings.Contains(one, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, one)
+		}
+	}
+	// Counters render before gauges, both sorted.
+	if strings.Index(one, "a_total") > strings.Index(one, "b_total") {
+		t.Error("counters not sorted")
+	}
+}
+
+func TestMergeObsv(t *testing.T) {
+	m := newMetrics()
+	reg := obsv.NewRegistry(0)
+	reg.Inc("ev/retire", 10)
+	reg.SetGauge("rs/occupancy", 3)
+	reg.Observe("retire/latency", 4)
+	reg.Observe("retire/latency", 6)
+	m.mergeObsv(reg.Snapshot())
+	m.mergeObsv(reg.Snapshot()) // counters accumulate across runs
+
+	if got := m.counter("obsv/ev/retire"); got != 20 {
+		t.Fatalf("merged counter = %d, want 20", got)
+	}
+	if got := m.counter("obsv/retire/latency/count"); got != 4 {
+		t.Fatalf("merged hist count = %d, want 4", got)
+	}
+	if got := m.counter("obsv/retire/latency/sum"); got != 20 {
+		t.Fatalf("merged hist sum = %d, want 20", got)
+	}
+
+	var b strings.Builder
+	if err := m.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"diag_server_obsv_ev_retire 20",
+		"diag_server_obsv_rs_occupancy 3",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestIntervalHistSum(t *testing.T) {
+	var h obsv.IntervalHist
+	if h.Sum() != 0 {
+		t.Fatalf("empty sum = %d", h.Sum())
+	}
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %d, want 106", h.Sum())
+	}
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCacheKeySemantics pins what does — and does not — change a
+// result's content address.
+func TestCacheKeySemantics(t *testing.T) {
+	parse := func(t *testing.T, body string) *Spec {
+		t.Helper()
+		sp, err := ParseRequest(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("parse %s: %v", body, err)
+		}
+		return sp
+	}
+	base := `{"kind":"run","machine":"iss","asm":"li x5, 1\nebreak"}`
+
+	t.Run("identical requests share a key", func(t *testing.T) {
+		if parse(t, base).Key() != parse(t, base).Key() {
+			t.Fatal("identical requests got different keys")
+		}
+	})
+	t.Run("parallel is excluded", func(t *testing.T) {
+		withP := `{"kind":"run","machine":"iss","asm":"li x5, 1\nebreak","parallel":8}`
+		if parse(t, base).Key() != parse(t, withP).Key() {
+			t.Fatal("parallel changed the cache key")
+		}
+	})
+	t.Run("machine case is canonicalized", func(t *testing.T) {
+		lower := `{"kind":"run","machine":"ISS","asm":"li x5, 1\nebreak"}`
+		if parse(t, base).Key() != parse(t, lower).Key() {
+			t.Fatal("machine-name case changed the cache key")
+		}
+	})
+	t.Run("source whitespace is content-addressed away", func(t *testing.T) {
+		spaced := `{"kind":"run","machine":"iss","asm":"  li   x5, 1\n  ebreak"}`
+		if parse(t, base).Key() != parse(t, spaced).Key() {
+			t.Fatal("semantically identical source changed the cache key")
+		}
+	})
+	t.Run("the program text matters", func(t *testing.T) {
+		other := `{"kind":"run","machine":"iss","asm":"li x5, 2\nebreak"}`
+		if parse(t, base).Key() == parse(t, other).Key() {
+			t.Fatal("different programs share a cache key")
+		}
+	})
+	t.Run("the machine matters", func(t *testing.T) {
+		other := `{"kind":"run","machine":"I4C2","asm":"li x5, 1\nebreak"}`
+		if parse(t, base).Key() == parse(t, other).Key() {
+			t.Fatal("different machines share a cache key")
+		}
+	})
+	t.Run("budgets matter", func(t *testing.T) {
+		other := `{"kind":"run","machine":"iss","asm":"li x5, 1\nebreak","max_cycles":100}`
+		if parse(t, base).Key() == parse(t, other).Key() {
+			t.Fatal("max_cycles did not change the cache key")
+		}
+	})
+	t.Run("kind partitions the key space", func(t *testing.T) {
+		run := parse(t, `{"kind":"run","machine":"F4C2","asm":"ebreak"}`)
+		flt := parse(t, `{"kind":"fault","machine":"F4C2","asm":"ebreak"}`)
+		if run.Key() == flt.Key() {
+			t.Fatal("run and fault share a cache key")
+		}
+	})
+	t.Run("difftest seed matters", func(t *testing.T) {
+		a := parse(t, `{"kind":"difftest","trials":10}`)
+		b := parse(t, `{"kind":"difftest","trials":10,"seed":2}`)
+		if a.Key() == b.Key() {
+			t.Fatal("difftest seed did not change the cache key")
+		}
+	})
+}
+
+func TestSpecDefaults(t *testing.T) {
+	sp, err := ParseRequest(strings.NewReader(`{"kind":"difftest"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Req.Trials != 100 || sp.Req.Seed != 1 || sp.Req.Archs != "all" {
+		t.Fatalf("difftest defaults = trials %d seed %d archs %q", sp.Req.Trials, sp.Req.Seed, sp.Req.Archs)
+	}
+	if sp.Image != nil || sp.ProgDigest != 0 {
+		t.Fatalf("difftest spec carries a program: %+v", sp)
+	}
+
+	sp, err = ParseRequest(strings.NewReader(`{"kind":"run","machine":"f4c16","asm":"ebreak"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Req.Machine != "F4C16" {
+		t.Fatalf("machine not canonicalized: %q", sp.Req.Machine)
+	}
+	if sp.Image == nil || sp.ProgDigest == 0 {
+		t.Fatal("run spec missing assembled image")
+	}
+	if sp.Name() != "run/F4C16" {
+		t.Fatalf("name = %q", sp.Name())
+	}
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// close1e12 pins a float to 1e-12 relative tolerance.
+func close1e12(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-12*math.Abs(want) {
+		t.Errorf("%s = %.15g, want %.15g", name, got, want)
+	}
+}
+
+// TestAggregatesPinned pins the aggregate functions on fixed inputs —
+// every speedup/efficiency table in the reports flows through these.
+func TestAggregatesPinned(t *testing.T) {
+	close1e12(t, "geomean{1,2,4}", GeoMean([]float64{1, 2, 4}), 2)
+	close1e12(t, "geomean{2,8}", GeoMean([]float64{2, 8}), 4)
+	close1e12(t, "geomean{0.5,2}", GeoMean([]float64{0.5, 2}), 1)
+	close1e12(t, "geomean{3}", GeoMean([]float64{3}), 3)
+	close1e12(t, "mean{1,2,3,4}", Mean([]float64{1, 2, 3, 4}), 2.5)
+	close1e12(t, "ratio(3,2)", Ratio(3, 2), 1.5)
+
+	// Degenerate inputs are defined, not NaN.
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("geomean(nil) = %v, want 0", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("mean(nil) = %v, want 0", got)
+	}
+	if got := Ratio(1, 0); got != 0 {
+		t.Errorf("ratio(1,0) = %v, want 0", got)
+	}
+}
+
+// TestHistogramSharesPinned pins share arithmetic on a fixed mix.
+func TestHistogramSharesPinned(t *testing.T) {
+	h := NewHistogram()
+	h.Add("alu", 6)
+	h.Add("mem", 3)
+	h.Add("branch", 1)
+	h.Add("alu", 2) // accumulates, not replaces
+
+	if got := h.Total(); got != 12 {
+		t.Fatalf("total = %d, want 12", got)
+	}
+	close1e12(t, "share(alu)", h.Share("alu"), 8.0/12)
+	close1e12(t, "share(mem)", h.Share("mem"), 0.25)
+	close1e12(t, "share(branch)", h.Share("branch"), 1.0/12)
+	if got := h.Share("absent"); got != 0 {
+		t.Errorf("share(absent) = %v, want 0", got)
+	}
+	// Insertion order is preserved, not sorted.
+	names := h.Names()
+	if len(names) != 3 || names[0] != "alu" || names[1] != "mem" || names[2] != "branch" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+// TestTableRenderingPinned pins the exact rendered text of a small
+// table: column sizing, separator row, and %-style cell formatting all
+// feed every human-readable report the tools emit.
+func TestTableRenderingPinned(t *testing.T) {
+	tab := NewTable("demo", "name", "n", "x")
+	tab.AddRowf("a", 1, 2.5)
+	tab.AddRowf("long-name", 42, 0.125)
+	got := tab.String()
+	want := "" +
+		"demo\n" +
+		"name       n   x   \n" +
+		"---------  --  ----\n" +
+		"a          1   2.50\n" +
+		"long-name  42  0.12\n"
+	if got != want {
+		t.Errorf("table rendering changed:\n got:\n%q\nwant:\n%q", got, want)
+	}
+}
