@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke difftest-smoke docs-check trace-smoke snap-smoke resume-smoke server-smoke api-check
+.PHONY: all build test race check vet bench bench-host figures tables examples cover clean fuzz-smoke difftest-smoke docs-check trace-smoke snap-smoke resume-smoke server-smoke explore-smoke api-check
 
 all: build vet test
 
@@ -71,10 +71,12 @@ examples:
 	done
 
 # Documentation hygiene: every relative markdown link resolves, every
-# exported symbol of the public package carries a doc comment.
+# exported symbol of the public package (and the packages behind the
+# documented surfaces) carries a doc comment, and every fenced diag-*
+# command in the docs uses only flags its tool actually registers.
 docs-check:
 	$(GO) vet ./...
-	$(GO) test -run 'TestMarkdownLinks|TestExportedDocComments' .
+	$(GO) test -run 'TestMarkdownLinks|TestExportedDocComments|TestFencedCommandFlags' .
 
 # Observability smoke: emit a Chrome trace from each machine model and
 # re-validate the files against the trace-event schema subset.
@@ -102,6 +104,13 @@ snap-smoke:
 # byte-identical to uninterrupted runs.
 resume-smoke:
 	./scripts/resume_smoke.sh
+
+# Design-space-explorer smoke: SIGKILL a journaled exploration at ~50%,
+# resume it at a different parallelism, and require the frontier CSV
+# and printed report to be byte-identical to an uninterrupted run's —
+# plus a straight determinism check across -parallel values.
+explore-smoke:
+	./scripts/explore_smoke.sh
 
 # Simulation-service smoke: start diag-server on an ephemeral port,
 # submit the same run twice (second must be a cache hit with a

@@ -135,3 +135,33 @@ func ExampleFaultCampaign() {
 	// trials: 20
 	// golden instret: 102
 }
+
+// ExampleExplore expands a tiny two-axis design space, evaluates every
+// candidate on one workload, and prints its Pareto frontier over
+// cycles × area × energy. The frontier is deterministic: I4C2's
+// architecture is the fast point, and the half-width machine survives
+// as the small one.
+func ExampleExplore() {
+	space := diag.Space{
+		Name:          "tiny",
+		ISA:           []string{"RV32I"},
+		PEsPerCluster: []int{8, 16},
+		Clusters:      []int{2, 4},
+		L1D:           diag.SpaceMemLevel{Sizes: []int{32 << 10}},
+		L2:            diag.SpaceMemLevel{Sizes: []int{0}},
+	}
+	rep, err := diag.Explore(context.Background(), space, diag.ExploreOptions{
+		Workloads: []string{"pathfinder"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("candidates:", rep.Candidates)
+	for _, p := range rep.Frontiers[0].Points {
+		fmt.Println("frontier:", p.Label)
+	}
+	// Output:
+	// candidates: 4
+	// frontier: I4C2
+	// frontier: ip8c2r1-d32K-L0
+}

@@ -1,0 +1,54 @@
+package diag
+
+import (
+	"context"
+
+	"diag/internal/explore"
+	"diag/internal/power"
+)
+
+// ---- Design-space exploration ----
+
+// Space is a declarative design-space description: every slice field is
+// an axis, the space is the cross product of all axes, and an empty
+// axis means "the default value only". Expand a space with Explore; the
+// JSON form is what diag-explore's -space flag accepts.
+type Space = explore.Space
+
+// SpaceMemLevel describes one memory level of a Space: candidate
+// capacities plus an optional per-access energy override.
+type SpaceMemLevel = explore.MemLevel
+
+// Frontier is one workload's Pareto frontier over cycles × area ×
+// energy, plus the bookkeeping of how the candidate set shrank to it.
+type Frontier = explore.Frontier
+
+// FrontierPoint is one non-dominated candidate on a Frontier.
+type FrontierPoint = explore.Point
+
+// ExploreOptions configure an exploration (workloads, scale, workers,
+// budgets, journal).
+type ExploreOptions = explore.Options
+
+// ExploreReport is the complete outcome of an exploration: the
+// canonical space, expansion counts, and one Frontier per workload.
+type ExploreReport = explore.Report
+
+// PaperSpace is the default exploration space: a several-hundred-point
+// neighborhood of the paper's Table 2 design points that contains the
+// I4C2 and F4C2 architectures exactly.
+func PaperSpace() Space { return explore.PaperSpace() }
+
+// Explore expands the space into candidate configurations, evaluates
+// every feasible (workload, candidate) pair in parallel, and reduces
+// each workload's results to its Pareto frontier over cycles, die area,
+// and energy. The report depends only on the space, workloads, scale,
+// and cycle budget — never on worker count or interruption history.
+func Explore(ctx context.Context, s Space, o ExploreOptions) (*ExploreReport, error) {
+	return explore.Explore(ctx, s, o)
+}
+
+// TotalArea returns the full-die area of cfg in µm²: synthesized logic
+// plus SRAM (L1I/L1D per ring, memory-lane entries per cluster, shared
+// L2) — the area objective Explore minimizes.
+func TotalArea(cfg Config) float64 { return power.TotalArea(cfg) }

@@ -73,7 +73,7 @@ type Config struct {
 	L1ISize      int
 	L1DSize      int
 	L1DBanks     int
-	L2Size       int
+	L2Size       int // bytes; 0 = default (4 MiB), NoL2 = no shared L2
 	MemLaneLines int // cluster-level memory-lane entries (default 4)
 	DRAMLatency  int // cycles (default 100)
 
@@ -96,6 +96,12 @@ type Config struct {
 	SharedFPUs           int  // §7.5: FPUs shared per cluster (0 = one per PE)
 	SpeculativeDatapaths bool // §7.3.2: preconstruct taken-branch target datapaths
 }
+
+// NoL2 as Config.L2Size builds a machine without a shared L2: ring
+// misses go straight to DRAM. The zero value still means "default
+// 4 MiB" so existing configs keep their meaning; an explicit absent
+// level needs a sentinel that survives setDefaults.
+const NoL2 = -1
 
 // Total PEs across the whole processor.
 func (c Config) TotalPEs() int { return c.PEsPerCluster * c.Clusters * c.Rings }
@@ -194,10 +200,10 @@ func I4C2() Config {
 	c := Config{
 		Name: "I4C2", ISA: RV32I,
 		Clusters: 2, FreqMHz: 100,
-		L1DSize: 32 << 10, L2Size: 0,
+		L1DSize: 32 << 10,
+		L2Size:  NoL2, // no L2 on the FPGA prototype
 	}
 	c.setDefaults()
-	c.L2Size = 0 // no L2 on the FPGA prototype
 	return c
 }
 
@@ -259,9 +265,11 @@ func (c Config) buildL1D(lower cache.Port) *cache.Cache {
 	}, lower)
 }
 
-// buildL2 constructs the shared last-level cache, or nil when absent.
+// buildL2 constructs the shared last-level cache, or nil when absent
+// (NoL2; a zero size has already been defaulted to 4 MiB by the time
+// NewMachine calls this).
 func (c Config) buildL2(lower cache.Port) *cache.Cache {
-	if c.L2Size == 0 {
+	if c.L2Size <= 0 {
 		return nil
 	}
 	return cache.New(cache.Config{

@@ -1,0 +1,26 @@
+package explore
+
+// PaperSpace is the default exploration space of diag-explore: a
+// neighborhood of the paper's Table 2 design points. Its axes cross
+// both ISA levels with the paper's cluster counts, both PE-per-cluster
+// widths, ring splitting, L1D banking, and the cache capacities of the
+// Table 2 configurations — several hundred unique candidates that
+// include I4C2's and F4C2's architectures exactly, so both appear as
+// named points when they reach a frontier.
+//
+// The space deliberately keeps the §7.5 shared-FPU extension at the
+// paper's per-PE baseline: Table 2 gives every FP PE its own unit.
+// Sweeping FPU sharing is one `"shared_fpus": [0, 4]` line away for
+// anyone exploring that trade-off.
+func PaperSpace() Space {
+	return Space{
+		Name:          "paper",
+		ISA:           []string{"RV32I", "RV32IMF"},
+		PEsPerCluster: []int{8, 16},
+		Clusters:      []int{2, 4, 8, 16, 32},
+		Rings:         []int{1, 2},
+		L1D:           MemLevel{Sizes: []int{32 << 10, 64 << 10, 128 << 10}, Banks: []int{2, 4}},
+		L2:            MemLevel{Sizes: []int{0, 4 << 20}},
+		MemLaneLines:  []int{2, 4},
+	}
+}

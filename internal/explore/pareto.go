@@ -1,0 +1,93 @@
+package explore
+
+import "sort"
+
+// Point is one evaluated candidate projected onto the explorer's three
+// objectives. Lower is better on all of them.
+type Point struct {
+	// Label is the display name: the paper configuration (I4C2, F4C2,
+	// ...) when the candidate matches one, the canonical name otherwise.
+	Label string `json:"label"`
+	// Name is the candidate's canonical name.
+	Name string `json:"name"`
+	// Paper is the matched paper configuration, or "".
+	Paper string `json:"paper,omitempty"`
+	// Digest is the candidate digest as 16 hex digits.
+	Digest string `json:"digest"`
+
+	Cycles  int64   `json:"cycles"`   // simulated cycles to completion
+	Retired uint64  `json:"retired"`  // instructions retired
+	AreaUM2 float64 `json:"area_um2"` // full-die area (power.TotalArea)
+	EnergyJ float64 `json:"energy_j"` // run energy (power.DiAGEnergyWith)
+}
+
+// Dominates reports strict Pareto domination: p is no worse than q on
+// every objective (cycles, area, energy) and strictly better on at
+// least one.
+func (p Point) Dominates(q Point) bool {
+	if p.Cycles > q.Cycles || p.AreaUM2 > q.AreaUM2 || p.EnergyJ > q.EnergyJ {
+		return false
+	}
+	return p.Cycles < q.Cycles || p.AreaUM2 < q.AreaUM2 || p.EnergyJ < q.EnergyJ
+}
+
+// Frontier is one workload's Pareto frontier plus the bookkeeping of
+// how the candidate set shrank to it.
+type Frontier struct {
+	// Workload names the workload the frontier was computed for.
+	Workload string `json:"workload"`
+	// Points are the non-dominated candidates in frontier order:
+	// ascending (Cycles, AreaUM2, EnergyJ, Name).
+	Points []Point `json:"points"`
+
+	// Evaluated counts candidates that ran to a checked result.
+	Evaluated int `json:"evaluated"`
+	// Infeasible counts candidates statically excluded for this
+	// workload (an FP kernel on an RV32I machine).
+	Infeasible int `json:"infeasible"`
+	// Failed counts candidates whose run failed deterministically
+	// (budget expiry, stall, wrong result); they carry no point.
+	Failed int `json:"failed"`
+	// Dominated counts evaluated points pruned by a dominating point.
+	Dominated int `json:"dominated"`
+}
+
+// pareto reduces evaluated points to the non-dominated set. The points
+// are first sorted by (Cycles, AreaUM2, EnergyJ, Name) — a total order,
+// since names are unique — which both fixes the frontier's output order
+// and makes the prune single-directional: a point later in the sort is
+// lexicographically no smaller, so it can only dominate an earlier
+// point by being componentwise equal, which is not strict domination.
+// The result is therefore byte-identical regardless of the order the
+// points were produced in.
+func pareto(pts []Point) (frontier []Point, dominated int) {
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Cycles != b.Cycles {
+			return a.Cycles < b.Cycles
+		}
+		if a.AreaUM2 != b.AreaUM2 {
+			return a.AreaUM2 < b.AreaUM2
+		}
+		if a.EnergyJ != b.EnergyJ {
+			return a.EnergyJ < b.EnergyJ
+		}
+		return a.Name < b.Name
+	})
+	for _, p := range sorted {
+		dead := false
+		for _, f := range frontier {
+			if f.Dominates(p) {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			dominated++
+			continue
+		}
+		frontier = append(frontier, p)
+	}
+	return frontier, dominated
+}

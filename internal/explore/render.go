@@ -1,0 +1,77 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"diag/internal/stats"
+)
+
+// CSVHeader is the first line of WriteCSV output.
+const CSVHeader = "workload,label,name,paper,digest,cycles,retired,area_mm2,energy_j"
+
+// WriteCSV renders every frontier point as CSV, one row per point, in
+// frontier order — the stable, diffable form the determinism and
+// resume smoke tests compare byte-for-byte.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+		return err
+	}
+	for _, f := range r.Frontiers {
+		for _, p := range f.Points {
+			_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s,%d,%d,%.4f,%.6e\n",
+				f.Workload, p.Label, p.Name, p.Paper, p.Digest,
+				p.Cycles, p.Retired, p.AreaUM2/1e6, p.EnergyJ)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the full report (space, expansion counts, and every
+// frontier) as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Table renders the first n points of one frontier (n <= 0: all) for
+// terminal output.
+func (f Frontier) Table(n int) *stats.Table {
+	if n <= 0 || n > len(f.Points) {
+		n = len(f.Points)
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Pareto frontier: %s (%d points; %d evaluated, %d dominated, %d failed, %d infeasible)",
+			f.Workload, len(f.Points), f.Evaluated, f.Dominated, f.Failed, f.Infeasible),
+		"#", "Config", "Cycles", "Area", "Energy")
+	for i, p := range f.Points[:n] {
+		t.AddRow(
+			fmt.Sprintf("%d", i+1),
+			p.Label,
+			fmt.Sprintf("%d", p.Cycles),
+			fmt.Sprintf("%.3f mm^2", p.AreaUM2/1e6),
+			fmt.Sprintf("%.3e J", p.EnergyJ),
+		)
+	}
+	return t
+}
+
+// Named returns the frontier point matching the given paper
+// configuration name (I4C2, F4C2, ...), if present.
+func (f Frontier) Named(paper string) (Point, bool) {
+	for _, p := range f.Points {
+		if p.Paper == paper {
+			return p, true
+		}
+	}
+	return Point{}, false
+}

@@ -1,0 +1,330 @@
+package explore
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"diag/internal/diag"
+	"diag/internal/exp"
+	"diag/internal/journal"
+	"diag/internal/mem"
+	"diag/internal/power"
+	"diag/internal/workloads"
+)
+
+// Options configure an exploration run. Only Workloads is required.
+type Options struct {
+	// Workloads names the workloads every candidate is evaluated on
+	// (workloads.ByName); each gets its own frontier.
+	Workloads []string
+	// Scale is the per-workload problem-size knob (0 = the workload's
+	// default).
+	Scale int
+	// Workers bounds parallel evaluation (exp.Options.Workers); the
+	// frontier does not depend on it.
+	Workers int
+	// Timeout bounds each candidate evaluation (0 = unbounded).
+	Timeout time.Duration
+	// MaxCycles bounds each candidate's simulated cycles (0 = default);
+	// a candidate that exceeds it fails deterministically and is
+	// excluded from the frontier rather than aborting the exploration.
+	MaxCycles int64
+	// Journal, when non-nil, makes the run durable: completed
+	// evaluations are replayed on resume instead of re-run.
+	Journal *journal.Journal
+	// Retry re-attempts transient evaluation failures.
+	Retry exp.Retry
+	// OnProgress observes every completed evaluation.
+	OnProgress func(exp.Progress)
+}
+
+// Plan is an expanded, workload-resolved exploration: everything that
+// is known before any simulation runs. Tools use it to print the space
+// summary and seal the journal manifest, then call Run.
+type Plan struct {
+	// Space is the canonical space.
+	Space Space
+	// Expansion summarizes the cross product (raw size, invalid,
+	// duplicates).
+	Expansion Expansion
+	// Candidates are the unique validated configurations, in expansion
+	// order.
+	Candidates []Candidate
+	// Workloads are the resolved workloads, in the order given.
+	Workloads []workloads.Workload
+	// Jobs is the number of feasible (workload, candidate) evaluations.
+	Jobs int
+}
+
+// NewPlan expands the space and resolves workload names. It fails on an
+// unknown workload or ISA, an empty workload list, or a space whose
+// every point is invalid.
+func NewPlan(s Space, workloadNames []string) (*Plan, error) {
+	if len(workloadNames) == 0 {
+		return nil, fmt.Errorf("explore: no workloads given")
+	}
+	cands, ex, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("explore: space %q has no valid points (%d invalid)", s.Name, ex.Invalid)
+	}
+	p := &Plan{Space: s.Canonical(), Expansion: ex, Candidates: cands}
+	for _, name := range workloadNames {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("explore: unknown workload %q", name)
+		}
+		p.Workloads = append(p.Workloads, w)
+		for _, c := range cands {
+			if feasible(w, c.Config) {
+				p.Jobs++
+			}
+		}
+	}
+	return p, nil
+}
+
+// feasible reports whether the candidate can run the workload at all:
+// an FP kernel cannot execute on an integer-only machine, so such
+// pairs are excluded statically instead of failing at decode time.
+func feasible(w workloads.Workload, cfg diag.Config) bool {
+	return !w.FP || cfg.ISA != diag.RV32I
+}
+
+// Manifest seals the plan's identity for the run journal: resuming with
+// a different space, workload list, scale, or cycle budget is refused.
+func (p *Plan) Manifest(o Options) journal.Manifest {
+	names := make([]string, len(p.Workloads))
+	for i, w := range p.Workloads {
+		names[i] = w.Name
+	}
+	return journal.Manifest{
+		Tool: "diag-explore",
+		Jobs: p.Jobs,
+		ConfigDigest: journal.DigestJSON(struct {
+			Space     Space
+			Workloads []string
+			Scale     int
+			MaxCycles int64
+		}{p.Space, names, o.Scale, o.MaxCycles}),
+		Note: fmt.Sprintf("space %q: %d candidates × %s",
+			p.Space.Name, len(p.Candidates), strings.Join(names, ",")),
+	}
+}
+
+// Report is the complete outcome of an exploration.
+type Report struct {
+	// Space is the canonical space the report was computed from.
+	Space Space `json:"space"`
+	// SpaceDigest is Space.Digest as 16 hex digits.
+	SpaceDigest string `json:"space_digest"`
+	// Scale is the workload problem-size knob used.
+	Scale int `json:"scale"`
+	// Points, Invalid, Duplicate, Candidates describe the expansion:
+	// raw cross product, dropped, folded, and surviving unique points.
+	Points     int `json:"points"`
+	Invalid    int `json:"invalid"`
+	Duplicate  int `json:"duplicate"`
+	Candidates int `json:"candidates"`
+	// Frontiers holds one frontier per workload, in workload order.
+	Frontiers []Frontier `json:"frontiers"`
+}
+
+// outcome is the journaled result of one evaluation. Deterministic
+// failures (cycle budget, stall on a structural bug, a wrong result)
+// are recorded in Err rather than surfaced as job errors, so every
+// completed evaluation journals as done and a resumed run never
+// re-simulates a candidate that deterministically fails.
+type outcome struct {
+	Cycles  int64   `json:"cycles"`
+	Retired uint64  `json:"retired"`
+	EnergyJ float64 `json:"energy_j"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// Explore expands the space, evaluates every feasible (workload,
+// candidate) pair, and reduces each workload's results to its Pareto
+// frontier. The report depends only on the space, workloads, scale, and
+// cycle budget — not on worker count, timing, or interruption history.
+func Explore(ctx context.Context, s Space, o Options) (*Report, error) {
+	p, err := NewPlan(s, o.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx, o)
+}
+
+// Run evaluates the plan. Transient failures (timeouts, stalls, panics)
+// that survive the retry policy abort the run with an error — silently
+// dropping a point would make the frontier depend on machine load.
+func (p *Plan) Run(ctx context.Context, o Options) (*Report, error) {
+	// Workload images depend only on (workload, rings, scale): build
+	// each needed image once, up front, so candidate jobs share them.
+	type imgKey struct {
+		workload string
+		rings    int
+	}
+	images := make(map[imgKey]*mem.Image)
+	params := func(rings int) workloads.Params {
+		return workloads.Params{Scale: o.Scale, Threads: rings}
+	}
+	for _, w := range p.Workloads {
+		for _, c := range p.Candidates {
+			k := imgKey{w.Name, c.Config.Rings}
+			if !feasible(w, c.Config) || images[k] != nil {
+				continue
+			}
+			img, err := w.Build(params(c.Config.Rings))
+			if err != nil {
+				return nil, fmt.Errorf("explore: building %s (threads=%d): %w", w.Name, c.Config.Rings, err)
+			}
+			images[k] = img
+		}
+	}
+
+	// One job per feasible pair, workload-major in candidate order —
+	// the fixed submission order the journal and the reduction index.
+	type jobRef struct {
+		workload  int
+		candidate int
+	}
+	var (
+		jobs []exp.Job
+		refs []jobRef
+	)
+	for wi, w := range p.Workloads {
+		w := w
+		for ci, c := range p.Candidates {
+			if !feasible(w, c.Config) {
+				continue
+			}
+			cfg := c.Config
+			if o.MaxCycles > 0 {
+				cfg.MaxCycles = o.MaxCycles
+			}
+			img := images[imgKey{w.Name, cfg.Rings}]
+			pr := params(cfg.Rings)
+			energies := c.Energies
+			jobs = append(jobs, exp.Job{
+				Name: w.Name + "/" + c.Config.Name,
+				Run: func(ctx context.Context) (any, error) {
+					return evaluate(ctx, cfg, energies, w, img, pr)
+				},
+			})
+			refs = append(refs, jobRef{wi, ci})
+		}
+	}
+
+	eo := exp.Options{
+		Workers:    o.Workers,
+		Timeout:    o.Timeout,
+		OnProgress: o.OnProgress,
+		Retry:      o.Retry,
+	}
+	if o.Journal != nil {
+		eo.Journal = &exp.JournalBinding{
+			Log:    o.Journal,
+			Label:  "explore",
+			Encode: func(v any) ([]byte, error) { return json.Marshal(v) },
+			Decode: func(b []byte) (any, error) {
+				var out outcome
+				err := json.Unmarshal(b, &out)
+				return out, err
+			},
+		}
+	}
+	results, err := exp.Run(ctx, jobs, eo)
+	if err != nil {
+		return nil, err
+	}
+	if err := exp.Errors(results); err != nil {
+		return nil, fmt.Errorf("explore: %d of %d evaluations failed: %w", countErrs(results), len(results), err)
+	}
+
+	// Reduce per workload.
+	rep := &Report{
+		Space:       p.Space,
+		SpaceDigest: fmt.Sprintf("%016x", p.Space.Digest()),
+		Scale:       o.Scale,
+		Points:      p.Expansion.Points,
+		Invalid:     p.Expansion.Invalid,
+		Duplicate:   p.Expansion.Duplicate,
+		Candidates:  len(p.Candidates),
+	}
+	for wi, w := range p.Workloads {
+		f := Frontier{Workload: w.Name, Infeasible: len(p.Candidates)}
+		var pts []Point
+		for ri, r := range results {
+			if refs[ri].workload != wi {
+				continue
+			}
+			f.Infeasible--
+			c := p.Candidates[refs[ri].candidate]
+			out, ok := r.Value.(outcome)
+			if !ok {
+				return nil, fmt.Errorf("explore: job %q returned %T, want outcome", r.Name, r.Value)
+			}
+			if out.Err != "" {
+				f.Failed++
+				continue
+			}
+			f.Evaluated++
+			pts = append(pts, Point{
+				Label:   c.Label(),
+				Name:    c.Config.Name,
+				Paper:   c.Paper,
+				Digest:  fmt.Sprintf("%016x", c.Digest),
+				Cycles:  out.Cycles,
+				Retired: out.Retired,
+				AreaUM2: power.TotalArea(c.Config),
+				EnergyJ: out.EnergyJ,
+			})
+		}
+		f.Points, f.Dominated = pareto(pts)
+		rep.Frontiers = append(rep.Frontiers, f)
+	}
+	return rep, nil
+}
+
+// evaluate runs one candidate on one workload and scores it. Only
+// transient errors (cancellation, timeout, stall, panic) propagate as
+// job errors; anything the candidate does deterministically — fail
+// validation, blow its cycle budget, compute a wrong answer — comes
+// back inside the outcome so it journals as a completed evaluation.
+func evaluate(ctx context.Context, cfg diag.Config, e power.CacheEnergies,
+	w workloads.Workload, img *mem.Image, pr workloads.Params) (any, error) {
+	m, err := diag.NewMachine(cfg, img)
+	if err != nil {
+		return outcome{Err: err.Error()}, nil
+	}
+	if _, err := m.RunUntil(ctx, 0); err != nil {
+		if ctx.Err() != nil || journal.Classify(err).Transient() {
+			return nil, err
+		}
+		return outcome{Err: err.Error()}, nil
+	}
+	if err := w.Check(m.Mem(), pr); err != nil {
+		return outcome{Err: "check: " + err.Error()}, nil
+	}
+	st := m.Stats()
+	return outcome{
+		Cycles:  st.Cycles,
+		Retired: st.Retired,
+		EnergyJ: power.DiAGEnergyWith(cfg, st, e).Total(),
+	}, nil
+}
+
+func countErrs(results []exp.Result) int {
+	n := 0
+	for i := range results {
+		if results[i].Err != nil {
+			n++
+		}
+	}
+	return n
+}

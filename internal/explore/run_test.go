@@ -1,0 +1,237 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"diag/internal/exp"
+	"diag/internal/journal"
+)
+
+var updateFrontier = flag.Bool("update-frontier", false, "rewrite testdata/tiny_frontier.csv from the current model")
+
+// tinySpace is the 2-axis space of the golden test: integer-only so it
+// runs everywhere, 2×2 points, one of them I4C2's architecture.
+func tinySpace() Space {
+	return Space{
+		Name:          "tiny",
+		ISA:           []string{"RV32I"},
+		PEsPerCluster: []int{8, 16},
+		Clusters:      []int{2, 4},
+		L1D:           MemLevel{Sizes: []int{32 << 10}},
+		L2:            MemLevel{Sizes: []int{0}},
+	}
+}
+
+func tinyOptions() Options {
+	return Options{Workloads: []string{"pathfinder"}, Scale: 1, Workers: 4}
+}
+
+func reportCSV(t *testing.T, r *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenFrontier pins the tiny space's frontier CSV byte-for-byte:
+// any change to the timing model, energy model, candidate naming, or
+// tie-break order shows up as a diff here.
+func TestGoldenFrontier(t *testing.T) {
+	rep, err := Explore(context.Background(), tinySpace(), tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reportCSV(t, rep)
+
+	golden := filepath.Join("testdata", "tiny_frontier.csv")
+	if *updateFrontier {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run: go test -run TestGoldenFrontier -update-frontier ./internal/explore)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("frontier CSV drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+
+	// I4C2's architecture (ip16c2r1-d32K-L0) is in this space and must
+	// be a named frontier point: nothing integer-only with fewer PEs is
+	// uniformly faster, and nothing bigger is uniformly cheaper.
+	if _, ok := rep.Frontiers[0].Named("I4C2"); !ok {
+		t.Errorf("I4C2 missing from the tiny frontier:\n%s", got)
+	}
+}
+
+// TestNoDominatedPoints is the frontier's defining property: no
+// returned point may be dominated by any other returned point, and
+// every pruned point must be dominated by some returned point.
+func TestNoDominatedPoints(t *testing.T) {
+	rep, err := Explore(context.Background(), tinySpace(), tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Frontiers {
+		if len(f.Points) == 0 {
+			t.Fatalf("empty frontier for %s", f.Workload)
+		}
+		for i, p := range f.Points {
+			for j, q := range f.Points {
+				if i != j && q.Dominates(p) {
+					t.Errorf("%s: frontier point %s is dominated by %s", f.Workload, p.Name, q.Name)
+				}
+			}
+		}
+		if f.Evaluated != len(f.Points)+f.Dominated {
+			t.Errorf("%s: evaluated %d != %d points + %d dominated",
+				f.Workload, f.Evaluated, len(f.Points), f.Dominated)
+		}
+	}
+}
+
+// TestParallelDeterminism: the report is byte-identical at any worker
+// count.
+func TestParallelDeterminism(t *testing.T) {
+	o1 := tinyOptions()
+	o1.Workers = 1
+	r1, err := Explore(context.Background(), tinySpace(), o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o8 := tinyOptions()
+	o8.Workers = 8
+	r8, err := Explore(context.Background(), tinySpace(), o8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1, c8 := reportCSV(t, r1), reportCSV(t, r8); !bytes.Equal(c1, c8) {
+		t.Errorf("frontier differs between -parallel 1 and 8:\n--- 1 ---\n%s--- 8 ---\n%s", c1, c8)
+	}
+}
+
+// TestInterruptedResume cancels an exploration partway through, resumes
+// it from the journal, and requires the final report to be
+// byte-identical to an uninterrupted run's.
+func TestInterruptedResume(t *testing.T) {
+	s, o := tinySpace(), tinyOptions()
+	ref, err := Explore(context.Background(), s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportCSV(t, ref)
+
+	plan, err := NewPlan(s, o.Workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "explore.journal")
+	log, err := journal.Create(path, plan.Manifest(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First run: serial, cancelled after two completed evaluations.
+	ctx, cancel := context.WithCancel(context.Background())
+	o1 := o
+	o1.Workers = 1
+	o1.Journal = log
+	var mu sync.Mutex
+	done := 0
+	o1.OnProgress = func(p exp.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done++; done == 2 {
+			cancel()
+		}
+	}
+	if _, err := plan.Run(ctx, o1); err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	cancel()
+	log.Close()
+
+	// Resume at a different worker count; replayed + fresh evaluations
+	// must reduce to the same frontier.
+	log2, st, err := journal.Resume(path, plan.Manifest(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if d, _ := st.CountDone(); d < 2 {
+		t.Fatalf("journal holds %d done evaluations, want >= 2", d)
+	}
+	o2 := o
+	o2.Workers = 8
+	o2.Journal = log2
+	got, err := plan.Run(context.Background(), o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCSV := reportCSV(t, got); !bytes.Equal(gotCSV, want) {
+		t.Errorf("resumed frontier differs from uninterrupted run:\n--- resumed ---\n%s--- reference ---\n%s", gotCSV, want)
+	}
+}
+
+// TestInfeasiblePairs: FP workloads never run on RV32I candidates, but
+// the counts still account for them.
+func TestInfeasiblePairs(t *testing.T) {
+	s := Space{
+		Name: "mixed",
+		ISA:  []string{"RV32I", "RV32IMF"},
+	}
+	o := Options{Workloads: []string{"hotspot"}, Scale: 1, Workers: 4}
+	rep, err := Explore(context.Background(), s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rep.Frontiers[0]
+	if f.Infeasible != 1 {
+		t.Errorf("infeasible = %d, want 1 (the RV32I candidate)", f.Infeasible)
+	}
+	if f.Evaluated != 1 {
+		t.Errorf("evaluated = %d, want 1", f.Evaluated)
+	}
+	for _, p := range f.Points {
+		if p.Name[0] == 'i' {
+			t.Errorf("integer-only candidate %s on an FP workload's frontier", p.Name)
+		}
+	}
+}
+
+// TestBudgetFailureIsDeterministic: a candidate that blows MaxCycles is
+// excluded from the frontier, not a run-aborting error.
+func TestBudgetFailureIsDeterministic(t *testing.T) {
+	o := tinyOptions()
+	o.MaxCycles = 10 // nothing finishes in 10 cycles
+	rep, err := Explore(context.Background(), tinySpace(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rep.Frontiers[0]
+	if f.Failed != rep.Candidates || f.Evaluated != 0 || len(f.Points) != 0 {
+		t.Errorf("failed=%d evaluated=%d points=%d, want all %d candidates failed",
+			f.Failed, f.Evaluated, len(f.Points), rep.Candidates)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := NewPlan(tinySpace(), nil); err == nil {
+		t.Error("NewPlan with no workloads succeeded")
+	}
+	if _, err := NewPlan(tinySpace(), []string{"no-such-kernel"}); err == nil {
+		t.Error("NewPlan with unknown workload succeeded")
+	}
+	if _, err := NewPlan(Space{PEsPerCluster: []int{3}}, []string{"pathfinder"}); err == nil {
+		t.Error("NewPlan with all-invalid space succeeded")
+	}
+}

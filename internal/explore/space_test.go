@@ -1,0 +1,108 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"diag/internal/diag"
+)
+
+func TestPaperSpaceExpansion(t *testing.T) {
+	s := PaperSpace()
+	cands, ex, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("points=%d invalid=%d duplicate=%d unique=%d", ex.Points, ex.Invalid, ex.Duplicate, len(cands))
+	if len(cands) < 500 {
+		t.Errorf("paper space has %d unique candidates, want >= 500", len(cands))
+	}
+	if ex.Points != len(cands)+ex.Invalid+ex.Duplicate {
+		t.Errorf("expansion accounting: %d points != %d + %d + %d",
+			ex.Points, len(cands), ex.Invalid, ex.Duplicate)
+	}
+
+	// The paper's Table 2 architectures must be present, once each.
+	found := map[string]int{}
+	for _, c := range cands {
+		if c.Paper != "" {
+			found[c.Paper]++
+			t.Logf("paper point %s = %s (digest %016x)", c.Paper, c.Config.Name, c.Digest)
+		}
+	}
+	for _, want := range []string{"I4C2", "F4C2", "F4C16", "F4C32"} {
+		if found[want] != 1 {
+			t.Errorf("paper config %s matched %d candidates, want 1", want, found[want])
+		}
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	a, _, err := PaperSpace().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := PaperSpace().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("expansion sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("candidate %d differs between expansions:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCandidateNamesUnique(t *testing.T) {
+	cands, _, err := PaperSpace().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]diag.Config{}
+	for _, c := range cands {
+		if prev, dup := seen[c.Config.Name]; dup {
+			t.Fatalf("canonical name %q is not unique:\n%+v\n%+v", c.Config.Name, prev, c.Config)
+		}
+		seen[c.Config.Name] = c.Config
+	}
+}
+
+func TestCanonicalDefaultsAndDedup(t *testing.T) {
+	// The zero space is the single default configuration.
+	cands, ex, err := Space{}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || ex.Points != 1 {
+		t.Fatalf("zero space expanded to %d candidates (%d points), want 1", len(cands), ex.Points)
+	}
+	if got := cands[0].Paper; got != "F4C2" {
+		t.Errorf("default point matched paper config %q, want F4C2 (the all-defaults architecture)", got)
+	}
+
+	// Unsorted, duplicated axis values canonicalize away.
+	a := Space{Clusters: []int{4, 2, 4}}.Digest()
+	b := Space{Clusters: []int{2, 4}}.Digest()
+	if a != b {
+		t.Errorf("digest differs for equivalent spaces: %016x vs %016x", a, b)
+	}
+
+	// RV32I folds SharedFPUs onto one candidate.
+	cands, ex, err = Space{ISA: []string{"RV32I"}, SharedFPUs: []int{0, 4}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || ex.Duplicate != 1 {
+		t.Errorf("RV32I × SharedFPUs{0,4}: %d candidates, %d duplicates; want 1 and 1", len(cands), ex.Duplicate)
+	}
+}
+
+func TestExpandRejectsUnknownISA(t *testing.T) {
+	_, _, err := Space{ISA: []string{"RV64GC"}}.Expand()
+	if err == nil || !strings.Contains(err.Error(), "RV64GC") {
+		t.Fatalf("want unknown-ISA error naming RV64GC, got %v", err)
+	}
+}

@@ -74,6 +74,36 @@ func DiAGArea(cfg diag.Config) AreaReport {
 	}
 }
 
+// SRAMAreaPerByte is the 45 nm SRAM density used for cache area:
+// a 6T cell is ~0.45 µm²/bit, so 3.6 µm² per byte (array only; the
+// periphery is folded into the same figure, matching the coarseness of
+// the CACTI-like energy fit).
+const SRAMAreaPerByte = 3.6
+
+// CacheArea returns the die area (µm²) of an SRAM of the given capacity.
+func CacheArea(sizeBytes int) float64 {
+	if sizeBytes <= 0 {
+		return 0
+	}
+	return SRAMAreaPerByte * float64(sizeBytes)
+}
+
+// TotalArea is the full-die area of cfg in µm²: the synthesized logic
+// (the TOP row of DiAGArea) plus the SRAM the Table 3 breakdown leaves
+// out — per-ring L1I/L1D, per-cluster memory-lane entries, and the
+// shared L2. This is the area objective the design-space explorer
+// minimizes, so configurations that differ only in cache capacity are
+// distinct points rather than area ties.
+func TotalArea(cfg diag.Config) float64 {
+	logic := DiAGArea(cfg).Components[0].AreaUM2
+	rings := float64(cfg.Rings)
+	clusters := float64(cfg.Clusters * cfg.Rings)
+	return logic +
+		rings*(CacheArea(cfg.L1ISize)+CacheArea(cfg.L1DSize)) +
+		clusters*CacheArea(cfg.MemLaneLines*64) +
+		CacheArea(cfg.L2Size)
+}
+
 // Table renders the report in the paper's Table 3 format.
 func (r AreaReport) Table() *stats.Table {
 	t := stats.NewTable(

@@ -83,9 +83,33 @@ func CacheAccessEnergy(sizeBytes int) float64 {
 	return 0.10e-9 * math.Sqrt(float64(sizeBytes)/(32<<10))
 }
 
+// CacheEnergies overrides the CACTI-like per-access energy fit level by
+// level, the way declarative architecture descriptions (FactorFlow's
+// MemLevel and friends) attach a measured energy to each memory level.
+// A zero field keeps the capacity-derived fit for that level, so the
+// zero value reproduces DiAGEnergy exactly.
+type CacheEnergies struct {
+	L1I     float64 // joules per L1I access (0 = derived from capacity)
+	L1D     float64 // joules per L1D access
+	L2      float64 // joules per L2 access
+	MemLane float64 // joules per cluster memory-lane access
+}
+
+// orFit returns the override when set, the capacity fit otherwise.
+func orFit(override float64, sizeBytes int) float64 {
+	if override > 0 {
+		return override
+	}
+	return CacheAccessEnergy(sizeBytes)
+}
+
 // CacheLeakagePower returns the leakage power (watts) of an SRAM of the
-// given capacity: ~1 mW per 32 KB at 45 nm.
+// given capacity: ~1 mW per 32 KB at 45 nm. An absent level (size <= 0,
+// e.g. diag.NoL2) leaks nothing.
 func CacheLeakagePower(sizeBytes int) float64 {
+	if sizeBytes <= 0 {
+		return 0
+	}
 	return 1e-3 * float64(sizeBytes) / (32 << 10)
 }
 
@@ -99,6 +123,13 @@ const DRAMAccessEnergy = 15e-9
 // register-lane / ALU / control static power (the ClusterCycles
 // integral), and clock-gated FP units leak only in those clusters.
 func DiAGEnergy(cfg diag.Config, st diag.Stats) Breakdown {
+	return DiAGEnergyWith(cfg, st, CacheEnergies{})
+}
+
+// DiAGEnergyWith is DiAGEnergy with explicit per-access cache energies:
+// any non-zero field of e replaces the CACTI-like capacity fit for that
+// level. DiAGEnergyWith(cfg, st, CacheEnergies{}) == DiAGEnergy(cfg, st).
+func DiAGEnergyWith(cfg diag.Config, st diag.Stats, e CacheEnergies) Breakdown {
 	tc := 1.0 / (float64(cfg.FreqMHz) * 1e6) // seconds per cycle
 	cycles := float64(st.Cycles)
 	pesPerCluster := float64(cfg.PEsPerCluster)
@@ -138,10 +169,10 @@ func DiAGEnergy(cfg diag.Config, st diag.Stats) Breakdown {
 
 	// Memory: cache accesses and leakage at every level, plus DRAM and
 	// the cluster LSU static slice.
-	b.Memory = float64(st.MemLanes.Accesses)*CacheAccessEnergy(cfg.MemLaneLines*64) +
-		float64(st.L1I.Accesses)*CacheAccessEnergy(cfg.L1ISize) +
-		float64(st.L1D.Accesses)*CacheAccessEnergy(cfg.L1DSize) +
-		float64(st.L2.Accesses)*CacheAccessEnergy(cfg.L2Size) +
+	b.Memory = float64(st.MemLanes.Accesses)*orFit(e.MemLane, cfg.MemLaneLines*64) +
+		float64(st.L1I.Accesses)*orFit(e.L1I, cfg.L1ISize) +
+		float64(st.L1D.Accesses)*orFit(e.L1D, cfg.L1DSize) +
+		float64(st.L2.Accesses)*orFit(e.L2, cfg.L2Size) +
 		float64(st.DRAMAccesses)*DRAMAccessEnergy +
 		float64(st.ClusterCycles)*clusterOverhead*memShare*tc +
 		cycles*tc*(CacheLeakagePower(cfg.L1ISize)+CacheLeakagePower(cfg.L1DSize)+

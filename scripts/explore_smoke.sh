@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# explore_smoke.sh — crash-safety + determinism acceptance test for
+# diag-explore.
+#
+# Run a small design-space exploration uninterrupted to get the
+# reference frontier (and the journal size that tells us where "about
+# half way" lands on disk), SIGKILL a second identical run once its
+# journal passes that mark — no drain, no atexit flush — then -resume
+# at a different -parallel and require both the frontier CSV and the
+# printed report to be byte-identical to the reference.
+#
+# If the victim finishes before the kill lands (fast machine), that is
+# not a failure: resuming a complete journal is a pure replay and must
+# still reproduce the frontier byte for byte.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d /tmp/explore-smoke.XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+cd "$(dirname "$0")/.."
+$GO build -o "$WORK/diag-explore" ./cmd/diag-explore
+
+SPACE='{"name":"smoke","isa":["RV32I"],"pes_per_cluster":[8,16],"clusters":[2,4],"l1d":{"sizes":[32768,65536]},"l2":{"sizes":[0]}}'
+ARGS=(-space "$SPACE" -workloads pathfinder -scale 2)
+
+# journal_size FILE — byte size, 0 while the victim has not created it yet.
+journal_size() {
+    { wc -c < "$1"; } 2>/dev/null || echo 0
+}
+
+# kill_at_half PID JOURNAL HALF — SIGKILL once the journal reaches HALF
+# bytes (or the process exits first).
+kill_at_half() {
+    local pid=$1 jour=$2 half=$3
+    while kill -0 "$pid" 2>/dev/null; do
+        if [ "$(journal_size "$jour")" -ge "$half" ]; then
+            kill -9 "$pid" 2>/dev/null || true
+            break
+        fi
+        sleep 0.05
+    done
+    wait "$pid" 2>/dev/null || true
+}
+
+echo "=== diag-explore: reference run ==="
+"$WORK/diag-explore" "${ARGS[@]}" -parallel 4 \
+    -journal "$WORK/ref.journal" -frontier-out "$WORK/ref.csv" \
+    -o "$WORK/ref.txt" 2> "$WORK/ref.err"
+HALF=$(( $(journal_size "$WORK/ref.journal") / 2 ))
+
+echo "=== diag-explore: kill at ~50%, resume at a different -parallel ==="
+"$WORK/diag-explore" "${ARGS[@]}" -parallel 1 \
+    -journal "$WORK/victim.journal" -frontier-out "$WORK/victim.csv" \
+    -o "$WORK/victim.txt" 2> "$WORK/victim.err" &
+kill_at_half $! "$WORK/victim.journal" "$HALF"
+echo "killed with $(journal_size "$WORK/victim.journal")/$(journal_size "$WORK/ref.journal") journal bytes"
+
+"$WORK/diag-explore" "${ARGS[@]}" -parallel 8 \
+    -journal "$WORK/victim.journal" -resume -frontier-out "$WORK/resumed.csv" \
+    -o "$WORK/resumed.txt" 2> "$WORK/resumed.err"
+
+cmp "$WORK/ref.csv" "$WORK/resumed.csv"
+cmp "$WORK/ref.txt" "$WORK/resumed.txt"
+echo "frontier byte-identical after SIGKILL + resume"
+
+echo "=== diag-explore: determinism across -parallel ==="
+"$WORK/diag-explore" "${ARGS[@]}" -parallel 2 -frontier-out "$WORK/p2.csv" \
+    -o "$WORK/p2.txt" 2> "$WORK/p2.err"
+cmp "$WORK/ref.csv" "$WORK/p2.csv"
+cmp "$WORK/ref.txt" "$WORK/p2.txt"
+echo "frontier byte-identical at -parallel 4 vs 2"
+
+echo "explore-smoke: OK"
